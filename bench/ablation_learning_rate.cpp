@@ -1,0 +1,71 @@
+// Ablation B: sensitivity of dynamic prediction to the calibration learning
+// rate lambda (the paper fixes lambda = 0.8 without justification) and to
+// the pre-defined curve's curvature delta.
+//
+// Expected shape: lambda = 0 equals the uncalibrated curve; moderate-to-
+// high lambda minimizes MSE; the exact curvature matters much less once
+// calibration is on (the calibration absorbs curve mismatch).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vmtherm;
+  bench::print_bench_header(
+      "Ablation B - calibration learning rate and curve curvature",
+      "lambda=0.8 (paper) near-optimal; calibration absorbs curve mismatch");
+
+  const auto ranges = bench::standard_ranges();
+  std::cout << "\nTraining stable-temperature predictor...\n";
+  const auto train_records =
+      core::generate_corpus(ranges, bench::kTrainRecords, /*seed=*/42);
+  const auto predictor = bench::train_standard_predictor(train_records);
+
+  std::vector<core::DynamicScenario> scenarios;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    scenarios.push_back(
+        core::make_random_dynamic_scenario(ranges, /*fans=*/4, 7000 + seed));
+  }
+
+  auto mean_mse = [&](const core::DynamicEvalOptions& options) {
+    double total = 0.0;
+    for (const auto& s : scenarios) {
+      total += evaluate_dynamic(predictor, s, options).mse;
+    }
+    return total / static_cast<double>(scenarios.size());
+  };
+
+  print_section(std::cout, "Learning-rate sweep (gap 60 s, update 15 s)");
+  Table lambda_table({"lambda", "mse", "note"});
+  for (double lambda : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    core::DynamicEvalOptions options;
+    options.dynamic.learning_rate = lambda;
+    std::string note;
+    if (lambda == 0.0) note = "equivalent to no calibration";
+    if (lambda == 0.8) note = "paper value";
+    lambda_table.add_row(
+        {Table::num(lambda, 1), Table::num(mean_mse(options), 3), note});
+  }
+  lambda_table.print(std::cout, 2);
+
+  print_section(std::cout,
+                "Curvature sweep (delta of psi*(t); lambda=0.8 vs disabled)");
+  Table curve_table({"curvature", "mse_calibrated", "mse_uncalibrated"});
+  for (double delta : {0.005, 0.02, 0.05, 0.2, 1.0}) {
+    core::DynamicEvalOptions calibrated;
+    calibrated.dynamic.curvature = delta;
+    core::DynamicEvalOptions uncalibrated = calibrated;
+    uncalibrated.dynamic.calibration_enabled = false;
+    curve_table.add_row({Table::num(delta, 3),
+                         Table::num(mean_mse(calibrated), 3),
+                         Table::num(mean_mse(uncalibrated), 3)});
+  }
+  curve_table.print(std::cout, 2);
+
+  std::cout << "\n  reading: the uncalibrated column swings with curvature;"
+            << "\n  the calibrated column barely moves - run-time calibration"
+            << "\n  absorbs the pre-defined curve's shape error, which is why"
+            << "\n  the paper can fix the curve a priori.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// bench/bench_common.h
+//
+// Shared setup for the figure-reproduction benches: corpus generation and
+// predictor training with the configuration used throughout the evaluation
+// (mirrors the paper's testbed scale where practical).
+
+#pragma once
+
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "util/table.h"
+
+namespace vmtherm::bench {
+
+/// Scenario ranges used by all stable-prediction benches: the paper's
+/// evaluation space (2-12 VMs, 1-6 fans, 18-30 C room temperature) on the
+/// three simulated server models.
+inline sim::ScenarioRanges standard_ranges() {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1800.0;       // t_exp
+  ranges.sample_interval_s = 5.0;   // sensor sampling period
+  return ranges;
+}
+
+/// Corpus sizes: the paper trains on "numerous experiments"; 400 records is
+/// enough for the SVR to reach its noise floor on this testbed.
+inline constexpr std::size_t kTrainRecords = 400;
+
+/// Trains the stable predictor exactly as the paper describes: scaled
+/// features, RBF kernel, easygrid-style (C, gamma, epsilon) search with
+/// 10-fold cross-validation.
+inline core::StableTemperaturePredictor train_standard_predictor(
+    const std::vector<core::Record>& records,
+    core::StableTrainReport* report = nullptr) {
+  core::StableTrainOptions options;  // default grid: RBF, 10-fold
+  return core::StableTemperaturePredictor::train(records, options, report);
+}
+
+/// Prints the standard bench header.
+inline void print_bench_header(const std::string& name,
+                               const std::string& paper_target) {
+  std::cout << "# " << name << "\n";
+  std::cout << "# paper target: " << paper_target << "\n";
+}
+
+}  // namespace vmtherm::bench

@@ -1,0 +1,114 @@
+// Extension F: per-core temperature granularity. The paper predicts one
+// CPU temperature per server; this bench quantifies what that abstraction
+// hides — the per-core spread created by VM pinning — and shows that
+// pinning policy changes the hottest-core temperature at identical
+// placements (i.e. identical Eq. (2) inputs), bounding the accuracy any
+// server-level model can reach on per-core sensors.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/multicore.h"
+
+namespace {
+
+using namespace vmtherm;
+
+struct PinningOutcome {
+  double hottest_core_c = 0.0;
+  double coolest_core_c = 0.0;
+  double spread_c = 0.0;
+};
+
+PinningOutcome run_pinning(const std::string& policy, std::uint64_t seed) {
+  sim::MultiCorePhysicalMachine machine(sim::make_server_spec("medium"),
+                                        sim::MultiCoreThermalParams{}, 4,
+                                        22.0, Rng(seed));
+  sim::VmConfig burn;
+  burn.vcpus = 4;
+  burn.memory_gb = 4.0;
+  burn.task = sim::TaskType::kCpuBurn;
+  sim::VmConfig web = burn;
+  web.task = sim::TaskType::kWebServer;
+
+  // 3 VMs, 12 vCPUs on 16 cores.
+  int rr_cursor = 0;
+  for (int v = 0; v < 3; ++v) {
+    const sim::VmConfig& config = v == 2 ? web : burn;
+    sim::Vm vm("vm" + std::to_string(v), config,
+               Rng(seed).fork(static_cast<std::uint64_t>(v)));
+    if (policy == "adjacent_blocks") {
+      // Each VM owns a contiguous block of cores: a thermal cluster.
+      std::vector<int> pins;
+      for (int c = 0; c < config.vcpus; ++c) pins.push_back(4 * v + c);
+      machine.add_vm(std::move(vm), std::move(pins));
+    } else if (policy == "interleaved") {
+      // Stride-4 interleave: every vCPU surrounded by other VMs' cores.
+      std::vector<int> pins;
+      for (int c = 0; c < config.vcpus; ++c) pins.push_back(4 * c + v);
+      machine.add_vm(std::move(vm), std::move(pins));
+    } else {  // corner_packed: everything crammed into one die corner
+      std::vector<int> pins;
+      for (int c = 0; c < config.vcpus; ++c) {
+        pins.push_back((rr_cursor + c) % 8);  // only cores 0-7 used
+      }
+      rr_cursor += config.vcpus;
+      machine.add_vm(std::move(vm), std::move(pins));
+    }
+  }
+
+  for (int i = 0; i < 400; ++i) machine.step(5.0, 22.0);
+
+  PinningOutcome outcome;
+  outcome.hottest_core_c = machine.thermal().max_core_temp_c();
+  outcome.spread_c = machine.thermal().core_spread_c();
+  outcome.coolest_core_c = outcome.hottest_core_c - outcome.spread_c;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vmtherm;
+  bench::print_bench_header(
+      "Extension F - per-core granularity (beyond the paper)",
+      "identical Eq.(2) inputs, different pinning -> different hottest "
+      "core; quantifies the server-level model's granularity floor");
+
+  print_section(std::cout,
+                "Per-core outcome by pinning policy (same VM set, 1800 s)");
+  Table table({"pinning", "hottest_core_C", "coolest_core_C", "spread_C"});
+  PinningOutcome packed{};
+  PinningOutcome spread{};
+  for (const std::string policy :
+       {"corner_packed", "adjacent_blocks", "interleaved"}) {
+    // Average over seeds for stable numbers.
+    PinningOutcome mean{};
+    const int seeds = 5;
+    for (std::uint64_t s = 1; s <= seeds; ++s) {
+      const auto outcome = run_pinning(policy, s);
+      mean.hottest_core_c += outcome.hottest_core_c / seeds;
+      mean.coolest_core_c += outcome.coolest_core_c / seeds;
+      mean.spread_c += outcome.spread_c / seeds;
+    }
+    if (policy == "adjacent_blocks") packed = mean;
+    if (policy == "interleaved") spread = mean;
+    table.add_row({policy, Table::num(mean.hottest_core_c, 2),
+                   Table::num(mean.coolest_core_c, 2),
+                   Table::num(mean.spread_c, 2)});
+  }
+  table.print(std::cout, 2);
+
+  print_section(std::cout, "Reading");
+  print_kv(std::cout, "hottest-core delta (adjacent - interleaved)",
+           Table::num(packed.hottest_core_c - spread.hottest_core_c, 2) +
+               " C");
+  std::cout
+      << "\n  The server-level model of the paper necessarily predicts the\n"
+      << "  same temperature for all three rows (identical theta/xi/delta\n"
+      << "  inputs). The spread column is therefore an irreducible error\n"
+      << "  floor for per-core prediction, and the packed-vs-spread delta\n"
+      << "  is the accuracy a pinning-aware (per-core) extension of the\n"
+      << "  paper's features would recover.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Figure 1(c): dynamic prediction accuracy (MSE) when varying
+// the prediction gap and the calibration update interval, with 4 server
+// fans.
+//
+// Paper result: MSE varies from 0.70 to 1.50 across the grid — larger
+// prediction gaps are harder, more frequent calibration updates help.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vmtherm;
+  bench::print_bench_header(
+      "Fig 1(c) - MSE vs (prediction gap x update interval), 4 fans",
+      "MSE in [0.70, 1.50]; grows with gap, shrinks with faster updates");
+
+  const auto ranges = bench::standard_ranges();
+  std::cout << "\nTraining stable-temperature predictor ("
+            << bench::kTrainRecords << " records)...\n";
+  const auto train_records =
+      core::generate_corpus(ranges, bench::kTrainRecords, /*seed=*/42);
+  const auto predictor = bench::train_standard_predictor(train_records);
+
+  // Randomized dynamic scenarios, all pinned to 4 fans as in the figure.
+  std::cout << "Building dynamic scenarios (4 fans, VM churn)...\n";
+  std::vector<core::DynamicScenario> scenarios;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    scenarios.push_back(
+        core::make_random_dynamic_scenario(ranges, /*fans=*/4, 9000 + seed));
+  }
+
+  const std::vector<double> gaps = {15.0, 30.0, 45.0, 60.0, 90.0, 120.0};
+  const std::vector<double> updates = {5.0, 10.0, 15.0, 30.0, 45.0, 60.0};
+
+  const auto grid = core::sweep_gap_update(predictor, scenarios, gaps,
+                                           updates, core::DynamicOptions{});
+
+  print_section(std::cout,
+                "Fig 1(c) grid: MSE by prediction gap (rows) x update "
+                "interval (columns)");
+  std::vector<std::string> headers = {"gap_s \\ update_s"};
+  for (double u : updates) headers.push_back(Table::num(u, 0));
+  Table table(headers);
+  double lo = grid[0][0];
+  double hi = grid[0][0];
+  for (std::size_t gi = 0; gi < gaps.size(); ++gi) {
+    std::vector<std::string> row = {Table::num(gaps[gi], 0)};
+    for (std::size_t ui = 0; ui < updates.size(); ++ui) {
+      row.push_back(Table::num(grid[gi][ui], 3));
+      lo = std::min(lo, grid[gi][ui]);
+      hi = std::max(hi, grid[gi][ui]);
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout, 2);
+
+  print_section(std::cout, "Aggregate");
+  print_kv(std::cout, "min MSE in grid", Table::num(lo, 3));
+  print_kv(std::cout, "max MSE in grid", Table::num(hi, 3));
+  print_kv(std::cout, "paper reports", "0.70 to 1.50");
+
+  // Shape checks the paper's figure shows.
+  const bool gap_monotone = grid.front().front() < grid.back().front();
+  const bool update_helps_short_gap = grid.front().front() < grid.front().back();
+  print_kv(std::cout, "MSE grows with gap", gap_monotone ? "yes" : "NO");
+  print_kv(std::cout, "faster updates help (short gaps)",
+           update_helps_short_gap ? "yes" : "NO");
+  std::cout << "\n  reading: frequent calibration pays off when predictions"
+            << "\n  are near-term; at long gaps the freshly-learned offset is"
+            << "\n  stale by the target time, so the update interval matters"
+            << "\n  less (and can even reverse) - visible as the flattening"
+            << "\n  of the bottom rows.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Microbenchmarks of the thermal testbed simulator (google-benchmark):
+// per-step machine cost, whole-experiment cost, and corpus-record cost.
+// These bound how fast training corpora can be regenerated.
+
+#include <benchmark/benchmark.h>
+
+#include "core/profiler.h"
+#include "sim/experiment.h"
+
+namespace {
+
+using namespace vmtherm;
+
+sim::ExperimentConfig standard_config(int vms) {
+  sim::ExperimentConfig config;
+  config.server = sim::make_server_spec("medium");
+  sim::VmConfig vm;
+  vm.vcpus = 2;
+  vm.memory_gb = 4.0;
+  vm.task = sim::TaskType::kBatch;
+  for (int i = 0; i < vms; ++i) config.vms.push_back(vm);
+  config.duration_s = 1800.0;
+  config.sample_interval_s = 5.0;
+  config.seed = 7;
+  return config;
+}
+
+void BM_ThermalStep(benchmark::State& state) {
+  sim::ThermalNetwork net(sim::ThermalParams{}, 22.0);
+  for (auto _ : state) {
+    net.step(5.0, 180.0, 22.0, 4);
+    benchmark::DoNotOptimize(net.die_temp_c());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThermalStep);
+
+void BM_MachineStep(benchmark::State& state) {
+  sim::MachineOptions options;
+  sim::PhysicalMachine machine(sim::make_server_spec("medium"), options,
+                               Rng(1));
+  sim::VmConfig vm;
+  vm.vcpus = 2;
+  vm.memory_gb = 4.0;
+  vm.task = sim::TaskType::kBatch;
+  for (int i = 0; i < state.range(0); ++i) {
+    machine.add_vm(sim::Vm("vm-" + std::to_string(i), vm,
+                           Rng(static_cast<std::uint64_t>(i))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.step(5.0, 22.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineStep)->Arg(2)->Arg(12);
+
+void BM_RunExperiment(benchmark::State& state) {
+  const auto config = standard_config(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_experiment(config));
+  }
+  state.SetLabel("1800 s @ 5 s sampling");
+}
+BENCHMARK(BM_RunExperiment)->Arg(2)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_ProfileExperimentRecord(benchmark::State& state) {
+  const auto config = standard_config(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::profile_experiment(config));
+  }
+  state.SetLabel("one Eq.(2) training record");
+}
+BENCHMARK(BM_ProfileExperimentRecord)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioSampling(benchmark::State& state) {
+  sim::ScenarioSampler sampler(sim::ScenarioRanges{}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScenarioSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// hotspot_alarm — proactive hotspot detection across a fleet.
+//
+// Thermal management wants to know about hotspots *before* they happen
+// (the paper: "temperature prediction is a fundamental technique to conduct
+// thermal management proactively"). This example runs a fleet of machines
+// with drifting room temperature and VM churn, and raises an alarm whenever
+// the 120 s-ahead dynamic prediction crosses a threshold — then reports how
+// much earlier the predictive alarm fired than a reactive (measured)
+// threshold alarm would have.
+
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "sim/cluster.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace vmtherm;
+
+struct FleetHost {
+  std::size_t cluster_index;
+  core::DynamicTemperaturePredictor tracker{core::DynamicOptions{}};
+  std::optional<double> predictive_alarm_s;
+  std::optional<double> reactive_alarm_s;
+};
+
+std::vector<sim::VmConfig> configs_of(const sim::PhysicalMachine& machine) {
+  std::vector<sim::VmConfig> out;
+  for (const auto& vm : machine.vms()) out.push_back(vm.config());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vmtherm;
+  std::cout << "vmtherm hotspot alarm\n=====================\n\n";
+  const double threshold_c = 70.0;
+  const double horizon_s = 120.0;
+
+  std::cout << "Training stable-temperature model on 150 experiments...\n";
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1500.0;
+  ranges.sample_interval_s = 10.0;
+  const auto records = core::generate_corpus(ranges, 150, /*seed=*/91);
+  core::StableTrainOptions options;
+  ml::SvrParams params;
+  params.kernel.gamma = 1.0 / 32;
+  params.c = 512.0;
+  params.epsilon = 0.05;
+  options.fixed_params = params;
+  const auto stable =
+      core::StableTemperaturePredictor::train(records, options);
+
+  // Fleet under a warming room (CRAC drift: 23 -> 27 C).
+  sim::EnvironmentSpec env;
+  env.kind = sim::EnvScheduleKind::kDrift;
+  env.base_c = 23.0;
+  env.delta_c = 4.0;
+  env.duration_s = 2400.0;
+  sim::Cluster cluster(env, Rng(17));
+  sim::MachineOptions machine_options;
+  machine_options.initial_temp_c = 23.0;
+
+  sim::VmConfig burn;
+  burn.vcpus = 8;
+  burn.memory_gb = 8.0;
+  burn.task = sim::TaskType::kCpuBurn;
+  sim::VmConfig web;
+  web.vcpus = 4;
+  web.memory_gb = 8.0;
+  web.task = sim::TaskType::kWebServer;
+
+  std::vector<FleetHost> fleet;
+  for (int i = 0; i < 3; ++i) {
+    sim::MachineOptions host_options = machine_options;
+    host_options.active_fans = (i == 2 ? 2 : 4);  // host 2 runs degraded
+    const std::size_t idx =
+        cluster.add_machine(sim::make_server_spec("medium"), host_options);
+    cluster.place_vm(idx, sim::Vm("web-" + std::to_string(i), web,
+                                  Rng(100 + static_cast<std::uint64_t>(i))));
+    FleetHost host;
+    host.cluster_index = idx;
+    fleet.push_back(std::move(host));
+  }
+  // Host 2 additionally runs two compute jobs: the hotspot candidate.
+  cluster.place_vm(2, sim::Vm("burn-a", burn, Rng(201)));
+  cluster.place_vm(2, sim::Vm("burn-b", burn, Rng(202)));
+
+  for (auto& host : fleet) {
+    const auto& machine = cluster.machine(host.cluster_index);
+    host.tracker.begin(0.0, 23.0,
+                       stable.predict(machine.spec(), configs_of(machine),
+                                      machine.active_fans(), env.base_c));
+  }
+
+  Table alarms({"t_s", "host", "kind", "value_C"});
+  const double dt = 5.0;
+  for (int step = 1; step <= 480; ++step) {  // 2400 s
+    cluster.step(dt);
+    const double t = cluster.time_s();
+    for (auto& host : fleet) {
+      const auto& machine = cluster.machine(host.cluster_index);
+      const double measured = machine.last_sample().cpu_temp_sensed_c;
+      host.tracker.observe(t, measured);
+      const double predicted = host.tracker.predict_ahead(horizon_s);
+
+      if (!host.predictive_alarm_s.has_value() && predicted >= threshold_c) {
+        host.predictive_alarm_s = t;
+        alarms.add_row({Table::num(t, 0),
+                        std::to_string(host.cluster_index),
+                        "PREDICTIVE (+120 s forecast)",
+                        Table::num(predicted, 1)});
+      }
+      if (!host.reactive_alarm_s.has_value() && measured >= threshold_c) {
+        host.reactive_alarm_s = t;
+        alarms.add_row({Table::num(t, 0),
+                        std::to_string(host.cluster_index), "reactive",
+                        Table::num(measured, 1)});
+      }
+    }
+  }
+
+  std::cout << "\nAlarm log (threshold " << threshold_c << " C):\n\n";
+  if (alarms.row_count() == 0) {
+    std::cout << "  (no host crossed the threshold)\n";
+  } else {
+    alarms.print(std::cout, 2);
+  }
+
+  std::cout << "\nLead time of predictive over reactive alarms:\n";
+  for (const auto& host : fleet) {
+    std::cout << "  host " << host.cluster_index << ": ";
+    if (host.reactive_alarm_s && host.predictive_alarm_s) {
+      std::cout << Table::num(*host.reactive_alarm_s - *host.predictive_alarm_s,
+                              0)
+                << " s earlier\n";
+    } else if (host.predictive_alarm_s) {
+      std::cout << "predicted a crossing the reactive alarm never saw\n";
+    } else {
+      std::cout << "no alarm (host stayed cool)\n";
+    }
+  }
+  std::cout << "\nA scheduler wired to the predictive alarm has minutes to\n"
+            << "migrate VMs away before the hotspot materializes.\n";
+  return 0;
+}

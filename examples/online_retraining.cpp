@@ -1,0 +1,112 @@
+// online_retraining — the paper's deployment story, closed end to end:
+// collect profiling records online, serve predictions from the live model,
+// watch residuals for drift, retrain when the datacenter changes.
+//
+// Timeline of this demo:
+//   phase 1: 150 records from the healthy fleet -> first model fits, then
+//            a batch refresh; prequential error is moderate and stable.
+//   phase 2: the fleet's heatsinks silently degrade 35% (dust, age). The
+//            stale model's residuals shift; CUSUM fires within a handful of
+//            records; the trainer refits on the sliding window and accuracy
+//            recovers.
+
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "core/online.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace vmtherm;
+
+std::vector<core::Record> profile_batch(std::size_t n, std::uint64_t seed,
+                                        double resistance_scale) {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1500.0;
+  ranges.sample_interval_s = 10.0;
+  sim::ScenarioSampler sampler(ranges, seed);
+  auto configs = sampler.sample(n);
+  for (auto& config : configs) {
+    config.server.thermal.sink_to_ambient_resistance *= resistance_scale;
+  }
+  return core::profile_experiments(configs);
+}
+
+const char* reason_name(core::RetrainReason reason) {
+  switch (reason) {
+    case core::RetrainReason::kNone: return "-";
+    case core::RetrainReason::kInitial: return "initial fit";
+    case core::RetrainReason::kBatch: return "batch refresh";
+    case core::RetrainReason::kDrift: return "DRIFT detected";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace vmtherm;
+  std::cout << "vmtherm online retraining\n=========================\n\n";
+
+  core::OnlineTrainerOptions options;
+  options.min_records_for_training = 60;
+  options.retrain_batch = 60;
+  options.retrain_on_drift = true;
+  options.drift_slack_c = 2.0;       // ~sigma/2 of this model's residuals
+  options.drift_threshold_c = 30.0;  // no false alarms in-control
+  options.max_records = 200;  // sliding window
+  ml::SvrParams params;
+  params.kernel.gamma = 1.0 / 32;
+  params.c = 512.0;
+  params.epsilon = 0.05;
+  options.train_options.fixed_params = params;
+  core::OnlineTrainer trainer(options);
+
+  Table log({"record#", "event", "model", "prequential_mse"});
+  auto feed = [&](const std::vector<core::Record>& batch) {
+    for (const auto& r : batch) {
+      const bool retrained = trainer.add_record(r);
+      if (retrained) {
+        log.add_row({Table::num(static_cast<long long>(trainer.records_seen())),
+                     reason_name(trainer.last_retrain_reason()),
+                     "v" + std::to_string(trainer.model_version()), "-"});
+      }
+    }
+  };
+
+  std::cout << "Phase 1: healthy fleet (150 records arrive)...\n";
+  feed(profile_batch(150, 1001, 1.0));
+  const double healthy_preq = trainer.prequential_mse();
+  log.add_row({Table::num(static_cast<long long>(trainer.records_seen())),
+               "phase 1 complete",
+               "v" + std::to_string(trainer.model_version()),
+               Table::num(healthy_preq, 3)});
+
+  std::cout << "Phase 2: heatsinks degrade 35% (model is now stale)...\n\n";
+  feed(profile_batch(100, 2002, 1.35));
+  log.add_row({Table::num(static_cast<long long>(trainer.records_seen())),
+               "phase 2 complete",
+               "v" + std::to_string(trainer.model_version()),
+               Table::num(trainer.prequential_mse(), 3)});
+
+  log.print(std::cout);
+
+  // Score the final model vs the phase-1 model's ghost on fresh
+  // degraded-fleet data.
+  const auto held_out = profile_batch(25, 3003, 1.35);
+  double se = 0.0;
+  for (const auto& r : held_out) {
+    const double e = trainer.model().predict(r) - r.stable_temp_c;
+    se += e * e;
+  }
+  std::cout << "\n  model version now: v" << trainer.model_version()
+            << " (window of " << trainer.buffered_records() << " records)\n";
+  std::cout << "  held-out MSE on the degraded fleet: "
+            << Table::num(se / static_cast<double>(held_out.size()), 3)
+            << "\n";
+  std::cout << "\n  Without the drift trigger the stale model would keep\n"
+            << "  under-predicting every host by several degrees - the\n"
+            << "  dangerous direction for thermal safety.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// quickstart — the 60-second tour of vmtherm.
+//
+// 1. Run profiling experiments on the simulated testbed to build a training
+//    corpus (Eq. 1 + Eq. 2 of the paper).
+// 2. Train the stable-temperature SVR (scaled features, RBF kernel).
+// 3. Predict the stable CPU temperature of a proposed VM placement.
+// 4. Track temperature online with the calibrated dynamic predictor.
+
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace vmtherm;
+  std::cout << "vmtherm quickstart\n==================\n\n";
+
+  // --- 1. Build a training corpus from randomized experiments ------------
+  sim::ScenarioRanges ranges;           // 2-12 VMs, 1-6 fans, 18-30 C rooms
+  ranges.duration_s = 1500.0;           // t_exp per experiment
+  ranges.sample_interval_s = 10.0;
+  std::cout << "Profiling 150 randomized experiments (this simulates the\n"
+            << "paper's physical testbed)...\n";
+  const auto records = core::generate_corpus(ranges, 150, /*seed=*/7);
+
+  // --- 2. Train the stable-temperature predictor -------------------------
+  core::StableTrainOptions options;
+  options.grid.c_values = {32.0, 512.0, 2048.0};   // trimmed grid: fast demo
+  options.grid.gamma_values = {1.0 / 64, 1.0 / 16};
+  options.grid.epsilon_values = {0.05};
+  options.grid.folds = 5;
+  core::StableTrainReport report;
+  const auto predictor =
+      core::StableTemperaturePredictor::train(records, options, &report);
+  std::cout << "Trained: C=" << report.chosen_params.c
+            << " gamma=" << report.chosen_params.kernel.gamma
+            << " (5-fold CV MSE " << Table::num(report.cv_mse, 2) << ")\n\n";
+
+  // --- 3. Ask "how hot will this placement run?" -------------------------
+  const auto server = sim::make_server_spec("medium");
+  sim::VmConfig web;
+  web.vcpus = 4;
+  web.memory_gb = 8.0;
+  web.task = sim::TaskType::kWebServer;
+  sim::VmConfig batch;
+  batch.vcpus = 8;
+  batch.memory_gb = 16.0;
+  batch.task = sim::TaskType::kBatch;
+
+  Table table({"placement", "fans", "room_C", "predicted_stable_C"});
+  table.add_row({"2 web VMs", "4", "22",
+                 Table::num(predictor.predict(server, {web, web}, 4, 22.0), 1)});
+  table.add_row({"2 web + 2 batch VMs", "4", "22",
+                 Table::num(predictor.predict(server, {web, web, batch, batch},
+                                              4, 22.0),
+                            1)});
+  table.add_row({"2 web + 2 batch VMs", "2", "22",
+                 Table::num(predictor.predict(server, {web, web, batch, batch},
+                                              2, 22.0),
+                            1)});
+  table.add_row({"2 web + 2 batch VMs", "2", "28",
+                 Table::num(predictor.predict(server, {web, web, batch, batch},
+                                              2, 28.0),
+                            1)});
+  table.print(std::cout);
+
+  // --- 4. Track a live machine with the dynamic predictor ----------------
+  std::cout << "\nOnline tracking (gap 60 s, update 15 s, lambda 0.8):\n";
+  sim::MachineOptions machine_options;
+  machine_options.initial_temp_c = 22.0;
+  sim::PhysicalMachine machine(server, machine_options, Rng(99));
+  machine.add_vm(sim::Vm("web-0", web, Rng(1)));
+  machine.add_vm(sim::Vm("batch-0", batch, Rng(2)));
+
+  core::DynamicTemperaturePredictor tracker{core::DynamicOptions{}};
+  tracker.begin(0.0, 22.0,
+                predictor.predict(server, {web, batch}, 4, 22.0));
+
+  Table track({"t_s", "measured_C", "predicted_now_C", "predicted_+60s_C",
+               "calibration"});
+  for (int i = 1; i <= 120; ++i) {
+    const auto sample = machine.step(5.0, 22.0);
+    tracker.observe(sample.time_s, sample.cpu_temp_sensed_c);
+    if (i % 24 == 0) {  // print every 2 minutes
+      track.add_row({Table::num(sample.time_s, 0),
+                     Table::num(sample.cpu_temp_sensed_c, 2),
+                     Table::num(tracker.predict_at(sample.time_s), 2),
+                     Table::num(tracker.predict_ahead(60.0), 2),
+                     Table::num(tracker.calibration(), 2)});
+    }
+  }
+  track.print(std::cout);
+  std::cout << "\nDone. See examples/migration_monitor and\n"
+            << "examples/thermal_scheduler for larger scenarios.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// vmtherm/baselines/naive_dynamic.h
+//
+// Trivial dynamic-prediction comparators: persistence (last value) and
+// exponential moving average. Any useful dynamic model must beat these; the
+// Fig. 1(b)-style case-study bench reports them alongside the paper's
+// calibrated / uncalibrated curve predictions.
+
+#pragma once
+
+#include "util/error.h"
+
+namespace vmtherm::baselines {
+
+/// Persistence: the temperature Δ_gap from now equals the temperature now.
+class LastValuePredictor {
+ public:
+  void observe(double /*t*/, double measured) noexcept {
+    last_ = measured;
+    seen_ = true;
+  }
+
+  /// Prediction for any horizon; throws DataError before any observation.
+  double predict_ahead(double /*gap_s*/) const {
+    detail::require_data(seen_, "last-value predictor has no observations");
+    return last_;
+  }
+
+ private:
+  double last_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Exponential moving average of the measurements, used as the forecast.
+/// Smoothing factor alpha in (0, 1]; larger tracks faster.
+class EmaPredictor {
+ public:
+  explicit EmaPredictor(double alpha = 0.3) : alpha_(alpha) {
+    detail::require(alpha > 0.0 && alpha <= 1.0, "ema alpha must be in (0,1]");
+  }
+
+  void observe(double /*t*/, double measured) noexcept {
+    if (!seen_) {
+      ema_ = measured;
+      seen_ = true;
+    } else {
+      ema_ = alpha_ * measured + (1.0 - alpha_) * ema_;
+    }
+  }
+
+  double predict_ahead(double /*gap_s*/) const {
+    detail::require_data(seen_, "ema predictor has no observations");
+    return ema_;
+  }
+
+ private:
+  double alpha_;
+  double ema_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Linear-trend extrapolation from the last two observations — slightly
+/// smarter persistence that can overshoot on noisy traces.
+class TrendPredictor {
+ public:
+  void observe(double t, double measured) noexcept {
+    prev_t_ = last_t_;
+    prev_ = last_;
+    have_prev_ = seen_;
+    last_t_ = t;
+    last_ = measured;
+    seen_ = true;
+  }
+
+  double predict_ahead(double gap_s) const {
+    detail::require_data(seen_, "trend predictor has no observations");
+    if (!have_prev_ || last_t_ <= prev_t_) return last_;
+    const double slope = (last_ - prev_) / (last_t_ - prev_t_);
+    return last_ + slope * gap_s;
+  }
+
+ private:
+  double last_t_ = 0.0;
+  double last_ = 0.0;
+  double prev_t_ = 0.0;
+  double prev_ = 0.0;
+  bool seen_ = false;
+  bool have_prev_ = false;
+};
+
+}  // namespace vmtherm::baselines

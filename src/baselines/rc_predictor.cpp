@@ -1,0 +1,103 @@
+#include "baselines/rc_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/matrix.h"
+
+namespace vmtherm::baselines {
+
+namespace {
+
+constexpr double kFanExponent = 0.65;
+constexpr double kReferenceFans = 4.0;
+
+double saturation(double u0, double vm_count) noexcept {
+  return std::min(1.0, u0 * vm_count);
+}
+
+}  // namespace
+
+double RcBaseline::fan_factor(double fans) const noexcept {
+  return std::pow(reference_fans_ / std::max(1.0, fans), fan_exponent_);
+}
+
+RcBaseline RcBaseline::fit(const std::vector<core::Record>& records) {
+  detail::require_data(!records.empty(), "rc baseline: no records");
+
+  // For each candidate u0, the model is linear in (idle_coeff, load_coeff):
+  //   psi - env = idle_coeff * F + load_coeff * F * sat(u0, n)
+  // with F the fan factor. Solve 2x2 normal equations and keep the u0 with
+  // the lowest training MSE.
+  double best_u0 = 0.5;
+  double best_idle = 0.0;
+  double best_load = 0.0;
+  double best_mse = std::numeric_limits<double>::infinity();
+
+  for (double u0 = 0.05; u0 <= 1.0 + 1e-9; u0 += 0.05) {
+    Matrix a(2, 2);
+    std::vector<double> b(2, 0.0);
+    for (const auto& r : records) {
+      const double f =
+          std::pow(kReferenceFans / std::max(1.0, r.fan_count), kFanExponent);
+      const double z0 = f;
+      const double z1 = f * saturation(u0, r.vm.vm_count);
+      const double y = r.stable_temp_c - r.env_temp_c;
+      a(0, 0) += z0 * z0;
+      a(0, 1) += z0 * z1;
+      a(1, 0) += z1 * z0;
+      a(1, 1) += z1 * z1;
+      b[0] += z0 * y;
+      b[1] += z1 * y;
+    }
+    std::vector<double> sol;
+    try {
+      sol = gaussian_solve(a.add_scaled_identity(1e-9), b);
+    } catch (const NumericError&) {
+      continue;
+    }
+
+    double sq = 0.0;
+    for (const auto& r : records) {
+      const double f =
+          std::pow(kReferenceFans / std::max(1.0, r.fan_count), kFanExponent);
+      const double pred =
+          r.env_temp_c + sol[0] * f + sol[1] * f * saturation(u0, r.vm.vm_count);
+      const double e = pred - r.stable_temp_c;
+      sq += e * e;
+    }
+    const double train_mse = sq / static_cast<double>(records.size());
+    if (train_mse < best_mse) {
+      best_mse = train_mse;
+      best_u0 = u0;
+      best_idle = sol[0];
+      best_load = sol[1];
+    }
+  }
+
+  return RcBaseline(best_u0, best_idle, best_load, kFanExponent,
+                    kReferenceFans);
+}
+
+RcBaseline::RcBaseline(double u0, double idle_coeff, double load_coeff,
+                       double fan_exponent, double reference_fans)
+    : u0_(u0),
+      idle_coeff_(idle_coeff),
+      load_coeff_(load_coeff),
+      fan_exponent_(fan_exponent),
+      reference_fans_(reference_fans) {}
+
+double RcBaseline::predict(const core::Record& record) const {
+  const double f = fan_factor(record.fan_count);
+  return record.env_temp_c + idle_coeff_ * f +
+         load_coeff_ * f * saturation(u0_, record.vm.vm_count);
+}
+
+double RcBaseline::dynamic_value(const core::Record& record, double phi0,
+                                 double t, double tau_s) const {
+  const double psi = predict(record);
+  return psi + (phi0 - psi) * std::exp(-std::max(0.0, t) / tau_s);
+}
+
+}  // namespace vmtherm::baselines

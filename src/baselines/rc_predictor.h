@@ -1,0 +1,57 @@
+// vmtherm/baselines/rc_predictor.h
+//
+// RC-circuit-model baseline, after Zhang et al. (the paper's reference
+// [5]): steady-state CPU temperature from a fitted resistor-capacitor
+// abstraction under the classical single-homogeneous-task assumption:
+//
+//   ψ = δ_env + R(f) * P(n),   R(f) = r * (f_ref / f)^e,
+//   P(n) ∝ 1 + k * min(1, u0 * n)
+//
+// where n is the number of resident tasks (VMs) — every task is assumed to
+// contribute the same utilization u0. The fan law exponent e is granted to
+// the baseline (it matches the simulator), making the comparison
+// conservative; what the baseline cannot express is heterogeneity (task
+// types, VM shapes, server capacity), which is where the SVR wins.
+
+#pragma once
+
+#include <vector>
+
+#include "core/record.h"
+
+namespace vmtherm::baselines {
+
+/// Fitted steady-state RC predictor.
+class RcBaseline {
+ public:
+  /// Fits (u0, idle term, load term) on labelled records: grid over u0,
+  /// least squares for the linear terms. Throws DataError on empty input.
+  static RcBaseline fit(const std::vector<core::Record>& records);
+
+  double predict(const core::Record& record) const;
+
+  double homogeneous_utilization() const noexcept { return u0_; }
+
+  /// Dynamic variant: the classical RC exponential step response toward
+  /// this baseline's own steady-state prediction,
+  ///   T(t) = ψ + (φ0 − ψ) * exp(−t / τ),
+  /// with time constant τ (seconds). Used as a dynamic-prediction
+  /// comparator in Fig. 1(b)-style studies.
+  double dynamic_value(const core::Record& record, double phi0, double t,
+                       double tau_s = 250.0) const;
+
+ private:
+  RcBaseline(double u0, double idle_coeff, double load_coeff,
+             double fan_exponent, double reference_fans);
+
+  /// R(f)/r relative to the reference fan configuration.
+  double fan_factor(double fans) const noexcept;
+
+  double u0_;          ///< assumed per-task utilization
+  double idle_coeff_;  ///< r * P_idle
+  double load_coeff_;  ///< r * P_span
+  double fan_exponent_;
+  double reference_fans_;
+};
+
+}  // namespace vmtherm::baselines

@@ -1,0 +1,42 @@
+#include "baselines/task_temperature.h"
+
+namespace vmtherm::baselines {
+
+std::vector<double> TaskTemperatureBaseline::features(
+    const core::Record& record) {
+  // Count of VMs per task type = share * vm_count.
+  std::vector<double> x;
+  x.reserve(sim::kTaskTypeCount);
+  for (double share : record.vm.task_share) {
+    x.push_back(share * record.vm.vm_count);
+  }
+  return x;
+}
+
+TaskTemperatureBaseline TaskTemperatureBaseline::fit(
+    const std::vector<core::Record>& records) {
+  detail::require_data(!records.empty(),
+                       "task-temperature baseline: no records");
+  ml::Dataset data;
+  for (const auto& r : records) {
+    data.add(ml::Sample{features(r), r.stable_temp_c});
+  }
+  return TaskTemperatureBaseline(ml::LinearRegression::fit(data, 1e-6));
+}
+
+TaskTemperatureBaseline::TaskTemperatureBaseline(ml::LinearRegression model)
+    : model_(std::move(model)) {}
+
+double TaskTemperatureBaseline::predict(const core::Record& record) const {
+  return model_.predict(features(record));
+}
+
+std::vector<double> TaskTemperatureBaseline::contributions() const {
+  return model_.weights();
+}
+
+double TaskTemperatureBaseline::base_temperature() const {
+  return model_.intercept();
+}
+
+}  // namespace vmtherm::baselines

@@ -1,0 +1,46 @@
+// vmtherm/baselines/task_temperature.h
+//
+// Task-temperature-profile baseline, after Wang/Khan/Dayal (the paper's
+// reference [4]): classical thermal-aware placement keeps a per-task-type
+// temperature profile and composes profiles additively. It ignores server
+// heterogeneity, fan configuration and environment — exactly the modeling
+// gap the paper's VM-level features close — so it serves as the "what the
+// state of the art did before" comparator in the ablation bench.
+
+#pragma once
+
+#include <vector>
+
+#include "core/record.h"
+#include "ml/linreg.h"
+
+namespace vmtherm::baselines {
+
+/// Additive task-profile model:
+///   ψ = base + Σ_type (number of VMs running type) * contribution_type
+/// fit by least squares on training records. Only task counts are used —
+/// the fidelity ceiling of task-temperature profiling in a multi-tenant,
+/// heterogeneous-host cloud.
+class TaskTemperatureBaseline {
+ public:
+  /// Fits profiles from labelled records; throws DataError on empty input.
+  static TaskTemperatureBaseline fit(const std::vector<core::Record>& records);
+
+  double predict(const core::Record& record) const;
+
+  /// Per-task-type temperature contribution (°C per VM of that type), in
+  /// sim::all_task_types() order.
+  std::vector<double> contributions() const;
+
+  /// Base temperature (°C) of an empty server under the profile model.
+  double base_temperature() const;
+
+ private:
+  explicit TaskTemperatureBaseline(ml::LinearRegression model);
+
+  static std::vector<double> features(const core::Record& record);
+
+  ml::LinearRegression model_;
+};
+
+}  // namespace vmtherm::baselines

@@ -1,0 +1,130 @@
+#include "cli/args.h"
+
+#include <sstream>
+
+namespace vmtherm::cli {
+
+ParsedArgs::ParsedArgs(std::map<std::string, std::vector<std::string>> values,
+                       std::map<std::string, OptionSpec> specs)
+    : values_(std::move(values)), specs_(std::move(specs)) {}
+
+bool ParsedArgs::has(const std::string& name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string ParsedArgs::get(const std::string& name) const {
+  const auto spec = specs_.find(name);
+  detail::require(spec != specs_.end(), "undeclared option queried: " + name);
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) {
+    return spec->second.default_value;
+  }
+  return it->second.back();
+}
+
+std::vector<std::string> ParsedArgs::get_all(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return {};
+  return it->second;
+}
+
+double ParsedArgs::get_double(const std::string& name) const {
+  const std::string value = get(name);
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(value, &consumed);
+    detail::require(consumed == value.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("option --" + name + ": expected a number, got '" +
+                      value + "'");
+  }
+}
+
+long ParsedArgs::get_long(const std::string& name) const {
+  const std::string value = get(name);
+  try {
+    std::size_t consumed = 0;
+    const long v = std::stol(value, &consumed);
+    detail::require(consumed == value.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("option --" + name + ": expected an integer, got '" +
+                      value + "'");
+  }
+}
+
+bool ParsedArgs::get_flag(const std::string& name) const { return has(name); }
+
+CommandSpec::CommandSpec(std::string name, std::string summary)
+    : name_(std::move(name)), summary_(std::move(summary)) {}
+
+CommandSpec& CommandSpec::add(OptionSpec option) {
+  options_.push_back(std::move(option));
+  return *this;
+}
+
+ParsedArgs CommandSpec::parse(const std::vector<std::string>& args) const {
+  std::map<std::string, OptionSpec> specs;
+  for (const auto& opt : options_) specs[opt.name] = opt;
+
+  std::map<std::string, std::vector<std::string>> values;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& token = args[i];
+    detail::require(token.rfind("--", 0) == 0,
+                    "expected an option, got '" + token + "'");
+    std::string name = token.substr(2);
+    std::optional<std::string> inline_value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+
+    const auto spec_it = specs.find(name);
+    detail::require(spec_it != specs.end(), "unknown option --" + name);
+    const OptionSpec& spec = spec_it->second;
+
+    std::string value;
+    if (spec.is_flag) {
+      detail::require(!inline_value.has_value(),
+                      "option --" + name + " takes no value");
+      value = "true";
+    } else if (inline_value.has_value()) {
+      value = *inline_value;
+    } else {
+      detail::require(i + 1 < args.size(),
+                      "option --" + name + " needs a value");
+      value = args[++i];
+    }
+
+    auto& bucket = values[name];
+    detail::require(spec.repeatable || bucket.empty(),
+                    "option --" + name + " given more than once");
+    bucket.push_back(std::move(value));
+  }
+
+  for (const auto& opt : options_) {
+    detail::require(!opt.required || values.find(opt.name) != values.end(),
+                    "missing required option --" + opt.name);
+  }
+  return ParsedArgs(std::move(values), std::move(specs));
+}
+
+std::string CommandSpec::usage() const {
+  std::ostringstream oss;
+  oss << "vmtherm " << name_ << " - " << summary_ << "\n\noptions:\n";
+  for (const auto& opt : options_) {
+    oss << "  --" << opt.name;
+    if (!opt.is_flag) oss << " <value>";
+    if (opt.required) oss << "  (required)";
+    else if (!opt.default_value.empty()) {
+      oss << "  (default: " << opt.default_value << ")";
+    }
+    if (opt.repeatable) oss << "  (repeatable)";
+    oss << "\n      " << opt.description << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace vmtherm::cli

@@ -1,0 +1,94 @@
+// vmtherm/cli/args.h
+//
+// Minimal declarative command-line argument parsing for the vmtherm CLI.
+// Long options only (--name value / --name=value / boolean --flag),
+// repeatable options (e.g. --vm, once per VM), usage-text generation.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace vmtherm::cli {
+
+/// Declaration of one option.
+struct OptionSpec {
+  std::string name;         ///< without the leading "--"
+  std::string description;
+  bool required = false;
+  bool is_flag = false;     ///< boolean switch (takes no value)
+  bool repeatable = false;  ///< may appear multiple times (values collected)
+  std::string default_value;  ///< used when absent and not required
+};
+
+/// Convenience maker (avoids partially-initialized aggregate warnings and
+/// reads better at call sites).
+inline OptionSpec make_option(std::string name, std::string description,
+                              bool required = false, bool is_flag = false,
+                              bool repeatable = false,
+                              std::string default_value = {}) {
+  OptionSpec opt;
+  opt.name = std::move(name);
+  opt.description = std::move(description);
+  opt.required = required;
+  opt.is_flag = is_flag;
+  opt.repeatable = repeatable;
+  opt.default_value = std::move(default_value);
+  return opt;
+}
+
+/// Parsed arguments for one command.
+class ParsedArgs {
+ public:
+  ParsedArgs(std::map<std::string, std::vector<std::string>> values,
+             std::map<std::string, OptionSpec> specs);
+
+  bool has(const std::string& name) const;
+
+  /// Single string value (last occurrence wins for non-repeatable);
+  /// falls back to the declared default. Throws ConfigError for undeclared
+  /// names (programmer error).
+  std::string get(const std::string& name) const;
+
+  /// All values of a repeatable option (empty if absent).
+  std::vector<std::string> get_all(const std::string& name) const;
+
+  /// Typed conveniences; throw ConfigError on unparseable values.
+  double get_double(const std::string& name) const;
+  long get_long(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+  std::map<std::string, OptionSpec> specs_;
+};
+
+/// One command's schema.
+class CommandSpec {
+ public:
+  CommandSpec(std::string name, std::string summary);
+
+  CommandSpec& add(OptionSpec option);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& summary() const noexcept { return summary_; }
+
+  /// Parses `args` (tokens after the command name). Throws ConfigError on
+  /// unknown options, missing required options, missing values or
+  /// duplicate non-repeatable options.
+  ParsedArgs parse(const std::vector<std::string>& args) const;
+
+  /// Usage text for --help.
+  std::string usage() const;
+
+ private:
+  std::string name_;
+  std::string summary_;
+  std::vector<OptionSpec> options_;
+};
+
+}  // namespace vmtherm::cli

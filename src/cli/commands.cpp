@@ -1,0 +1,359 @@
+#include "cli/commands.h"
+
+#include <iostream>
+#include <map>
+#include <ostream>
+
+#include "cli/args.h"
+#include "core/evaluator.h"
+#include "core/record_store.h"
+#include "core/tbreak.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace vmtherm::cli {
+
+namespace {
+
+CommandSpec simulate_spec() {
+  CommandSpec spec("simulate",
+                   "run randomized profiling experiments on the simulated "
+                   "testbed and write Eq.(2) records as CSV");
+  spec.add(make_option("count", "number of experiments to run", true));
+  spec.add(make_option("out", "output records CSV path", true));
+  spec.add(make_option("seed", "random seed", false, false, false, "42"));
+  spec.add(make_option("duration", "experiment duration t_exp in seconds", false, false,
+            false, "1800"));
+  spec.add(make_option("min-vms", "minimum VMs per experiment", false, false, false, "2"));
+  spec.add(make_option("max-vms", "maximum VMs per experiment", false, false, false,
+            "12"));
+  spec.add(make_option("fans", "pin the fan count (0 = randomize 1..6)", false, false,
+            false, "0"));
+  return spec;
+}
+
+CommandSpec train_spec() {
+  CommandSpec spec("train",
+                   "train the stable-temperature SVR from a records CSV "
+                   "(grid search + 10-fold CV, like the paper)");
+  spec.add(make_option("data", "training records CSV", true));
+  spec.add(make_option("model", "output model path", true));
+  spec.add(make_option("folds", "cross-validation folds", false, false, false, "10"));
+  spec.add(make_option("fast", "skip the grid search (fixed good parameters)", false,
+            true));
+  return spec;
+}
+
+CommandSpec evaluate_spec() {
+  CommandSpec spec("evaluate",
+                   "score a trained model against labelled records");
+  spec.add(make_option("model", "trained model path", true));
+  spec.add(make_option("data", "test records CSV", true));
+  return spec;
+}
+
+CommandSpec predict_spec() {
+  CommandSpec spec("predict",
+                   "predict the stable CPU temperature of a placement");
+  spec.add(make_option("model", "trained model path", true));
+  spec.add(make_option("server", "server kind: small | medium | large", true));
+  spec.add(make_option("fans", "active fans", true));
+  spec.add(make_option("env", "environment temperature in deg C", true));
+  spec.add(make_option("vm", "VM spec task:vcpus:memory_gb (e.g. cpu_burn:4:8)", false,
+            false, true));
+  return spec;
+}
+
+CommandSpec tbreak_spec() {
+  CommandSpec spec("tbreak",
+                   "deduce t_break from settling times of randomized "
+                   "experiments");
+  spec.add(make_option("count", "number of experiments", false, false, false, "16"));
+  spec.add(make_option("seed", "random seed", false, false, false, "7"));
+  spec.add(make_option("fans", "pin the fan count (0 = randomize)", false, false, false,
+            "4"));
+  spec.add(make_option("band", "stability band in deg C", false, false, false, "2.0"));
+  spec.add(make_option("quantile", "settling-time quantile to recommend", false, false,
+            false, "0.5"));
+  return spec;
+}
+
+CommandSpec dynamic_spec() {
+  CommandSpec spec("dynamic",
+                   "evaluate online dynamic prediction (Eqs. 4-8) on a "
+                   "randomized VM-churn scenario, with and without "
+                   "calibration");
+  spec.add(make_option("model", "trained model path", true));
+  spec.add(make_option("seed", "scenario seed", false, false, false, "1"));
+  spec.add(make_option("gap", "prediction gap in seconds", false, false,
+                       false, "60"));
+  spec.add(make_option("update", "calibration update interval in seconds",
+                       false, false, false, "15"));
+  spec.add(make_option("lambda", "calibration learning rate", false, false,
+                       false, "0.8"));
+  spec.add(make_option("fans", "server fans", false, false, false, "4"));
+  return spec;
+}
+
+const std::vector<CommandSpec>& all_specs() {
+  static const std::vector<CommandSpec> specs = {
+      simulate_spec(), train_spec(), evaluate_spec(), predict_spec(),
+      dynamic_spec(), tbreak_spec()};
+  return specs;
+}
+
+sim::ScenarioRanges ranges_from(const ParsedArgs& args) {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = args.get_double("duration");
+  ranges.min_vms = static_cast<int>(args.get_long("min-vms"));
+  ranges.max_vms = static_cast<int>(args.get_long("max-vms"));
+  const auto fans = static_cast<int>(args.get_long("fans"));
+  if (fans > 0) {
+    ranges.min_fans = fans;
+    ranges.max_fans = fans;
+  }
+  ranges.validate();
+  return ranges;
+}
+
+int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
+  const auto count = static_cast<std::size_t>(args.get_long("count"));
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed"));
+  const auto ranges = ranges_from(args);
+
+  out << "running " << count << " profiling experiments...\n";
+  const auto records = core::generate_corpus(ranges, count, seed);
+  core::write_records_csv_file(args.get("out"), records);
+  out << "wrote " << records.size() << " records to " << args.get("out")
+      << "\n";
+  return 0;
+}
+
+int cmd_train(const ParsedArgs& args, std::ostream& out) {
+  const auto records = core::read_records_csv_file(args.get("data"));
+  out << "training on " << records.size() << " records";
+
+  core::StableTrainOptions options;
+  if (args.get_flag("fast")) {
+    out << " (fast mode: fixed parameters)";
+    ml::SvrParams params;
+    params.kernel.gamma = 1.0 / 32;
+    params.c = 512.0;
+    params.epsilon = 0.05;
+    options.fixed_params = params;
+  } else {
+    options.grid.folds = static_cast<std::size_t>(args.get_long("folds"));
+  }
+  out << "...\n";
+
+  core::StableTrainReport report;
+  const auto predictor =
+      core::StableTemperaturePredictor::train(records, options, &report);
+  predictor.save(args.get("model"));
+
+  print_kv(out, "chosen C", Table::num(report.chosen_params.c, 4));
+  print_kv(out, "chosen gamma", Table::num(report.chosen_params.kernel.gamma, 6));
+  print_kv(out, "chosen epsilon", Table::num(report.chosen_params.epsilon, 3));
+  if (report.grid_points_evaluated > 0) {
+    print_kv(out, "cv mse", Table::num(report.cv_mse, 3));
+  }
+  print_kv(out, "support vectors",
+           std::to_string(report.final_fit.support_vector_count));
+  out << "model saved to " << args.get("model") << "\n";
+  return 0;
+}
+
+int cmd_evaluate(const ParsedArgs& args, std::ostream& out) {
+  const auto predictor =
+      core::StableTemperaturePredictor::load(args.get("model"));
+  const auto records = core::read_records_csv_file(args.get("data"));
+  const auto result = core::evaluate_stable(predictor, records);
+
+  Table table({"case", "vms", "measured_C", "predicted_C", "abs_err_C"});
+  for (const auto& c : result.cases) {
+    table.add_row({Table::num(static_cast<long long>(c.case_index + 1)),
+                   Table::num(static_cast<long long>(c.vm_count)),
+                   Table::num(c.measured_c, 2), Table::num(c.predicted_c, 2),
+                   Table::num(std::abs(c.predicted_c - c.measured_c), 2)});
+  }
+  table.print(out);
+  print_kv(out, "mse", Table::num(result.mse, 3));
+  print_kv(out, "mae", Table::num(result.mae, 3));
+  print_kv(out, "max abs error", Table::num(result.max_abs_error, 3));
+  return 0;
+}
+
+int cmd_predict(const ParsedArgs& args, std::ostream& out) {
+  const auto predictor =
+      core::StableTemperaturePredictor::load(args.get("model"));
+  const auto server = sim::make_server_spec(args.get("server"));
+  const auto fans = static_cast<int>(args.get_long("fans"));
+  const double env = args.get_double("env");
+
+  std::vector<sim::VmConfig> vms;
+  for (const auto& spec : args.get_all("vm")) {
+    const VmSpecParts parts = parse_vm_spec(spec);
+    sim::VmConfig vm;
+    vm.task = sim::task_type_from_name(parts.task);
+    vm.vcpus = parts.vcpus;
+    vm.memory_gb = parts.memory_gb;
+    vm.validate();
+    vms.push_back(vm);
+  }
+
+  const double psi = predictor.predict(server, vms, fans, env);
+  print_kv(out, "server", server.name);
+  print_kv(out, "vms", std::to_string(vms.size()));
+  print_kv(out, "fans", std::to_string(fans));
+  print_kv(out, "env temp", Table::num(env, 1) + " C");
+  print_kv(out, "predicted stable CPU temp", Table::num(psi, 2) + " C");
+  return 0;
+}
+
+int cmd_dynamic(const ParsedArgs& args, std::ostream& out) {
+  const auto predictor =
+      core::StableTemperaturePredictor::load(args.get("model"));
+
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1800.0;
+  ranges.sample_interval_s = 5.0;
+  const auto scenario = core::make_random_dynamic_scenario(
+      ranges, static_cast<int>(args.get_long("fans")),
+      static_cast<std::uint64_t>(args.get_long("seed")));
+
+  core::DynamicEvalOptions calibrated;
+  calibrated.gap_s = args.get_double("gap");
+  calibrated.dynamic.update_interval_s = args.get_double("update");
+  calibrated.dynamic.learning_rate = args.get_double("lambda");
+  core::DynamicEvalOptions uncalibrated = calibrated;
+  uncalibrated.dynamic.calibration_enabled = false;
+
+  const auto with_cal = evaluate_dynamic(predictor, scenario, calibrated);
+  const auto without_cal = evaluate_dynamic(predictor, scenario, uncalibrated);
+
+  print_kv(out, "scenario VMs (initial)",
+           std::to_string(scenario.base.vms.size()));
+  print_kv(out, "scripted events", std::to_string(scenario.events.size()));
+  print_kv(out, "prediction gap", Table::num(calibrated.gap_s, 0) + " s");
+  print_kv(out, "update interval",
+           Table::num(calibrated.dynamic.update_interval_s, 0) + " s");
+  print_kv(out, "lambda",
+           Table::num(calibrated.dynamic.learning_rate, 2));
+  Table table({"predictor", "mse", "mae"});
+  table.add_row({"with calibration", Table::num(with_cal.mse, 3),
+                 Table::num(with_cal.mae, 3)});
+  table.add_row({"without calibration", Table::num(without_cal.mse, 3),
+                 Table::num(without_cal.mae, 3)});
+  table.print(out);
+  print_kv(out, "calibration lowers mse",
+           with_cal.mse < without_cal.mse ? "yes" : "no");
+  return 0;
+}
+
+int cmd_tbreak(const ParsedArgs& args, std::ostream& out) {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 2400.0;
+  ranges.sample_interval_s = 10.0;
+  ranges.dynamic_env_probability = 0.0;
+  const auto fans = static_cast<int>(args.get_long("fans"));
+  if (fans > 0) {
+    ranges.min_fans = fans;
+    ranges.max_fans = fans;
+  }
+  sim::ScenarioSampler sampler(
+      ranges, static_cast<std::uint64_t>(args.get_long("seed")));
+  const auto configs =
+      sampler.sample(static_cast<std::size_t>(args.get_long("count")));
+  const auto study = core::study_t_break(configs, args.get_double("band"),
+                                         args.get_double("quantile"));
+
+  print_kv(out, "experiments", std::to_string(study.settling_times_s.size()));
+  print_kv(out, "unsettled", std::to_string(study.unsettled_count));
+  print_kv(out, "median settling",
+           Table::num(quantile(study.settling_times_s, 0.5), 0) + " s");
+  print_kv(out, "p90 settling",
+           Table::num(quantile(study.settling_times_s, 0.9), 0) + " s");
+  print_kv(out, "recommended t_break",
+           Table::num(study.recommended_t_break_s, 0) + " s");
+  print_kv(out, "paper's choice", "600 s");
+  return 0;
+}
+
+void print_global_help(std::ostream& out) {
+  out << "vmtherm - VM-level temperature profiling and prediction\n\n"
+      << "commands:\n";
+  for (const auto& spec : all_specs()) {
+    out << "  " << spec.name() << "\n      " << spec.summary() << "\n";
+  }
+  out << "  help [command]\n      show this text, or one command's options\n";
+}
+
+}  // namespace
+
+VmSpecParts parse_vm_spec(const std::string& spec) {
+  const auto first = spec.find(':');
+  const auto second = first == std::string::npos
+                          ? std::string::npos
+                          : spec.find(':', first + 1);
+  detail::require(first != std::string::npos && second != std::string::npos,
+                  "vm spec must be task:vcpus:memory_gb, got '" + spec + "'");
+  VmSpecParts parts;
+  parts.task = spec.substr(0, first);
+  try {
+    parts.vcpus = std::stoi(spec.substr(first + 1, second - first - 1));
+    parts.memory_gb = std::stod(spec.substr(second + 1));
+  } catch (const std::exception&) {
+    throw ConfigError("vm spec has bad numbers: '" + spec + "'");
+  }
+  detail::require(parts.vcpus >= 1, "vm spec vcpus must be >= 1");
+  detail::require(parts.memory_gb > 0.0, "vm spec memory must be positive");
+  return parts;
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    if (args.size() >= 2) {
+      for (const auto& spec : all_specs()) {
+        if (spec.name() == args[1]) {
+          out << spec.usage();
+          return 0;
+        }
+      }
+      err << "unknown command: " << args[1] << "\n";
+      return 1;
+    }
+    print_global_help(out);
+    return args.empty() ? 1 : 0;
+  }
+
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  try {
+    for (const auto& spec : all_specs()) {
+      if (spec.name() != command) continue;
+      const ParsedArgs parsed = spec.parse(rest);
+      if (command == "simulate") return cmd_simulate(parsed, out);
+      if (command == "train") return cmd_train(parsed, out);
+      if (command == "evaluate") return cmd_evaluate(parsed, out);
+      if (command == "predict") return cmd_predict(parsed, out);
+      if (command == "dynamic") return cmd_dynamic(parsed, out);
+      if (command == "tbreak") return cmd_tbreak(parsed, out);
+    }
+    err << "unknown command: " << command << "\n\n";
+    print_global_help(err);
+    return 1;
+  } catch (const ConfigError& e) {
+    err << e.what() << "\n";
+    return 1;
+  } catch (const Error& e) {
+    err << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "internal error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace vmtherm::cli

@@ -1,0 +1,13 @@
+// Entry point of the vmtherm command-line tool.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return vmtherm::cli::run_cli(args, std::cout, std::cerr);
+}

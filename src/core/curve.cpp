@@ -1,0 +1,28 @@
+#include "core/curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmtherm::core {
+
+PredefinedCurve::PredefinedCurve(double phi0, double psi_stable,
+                                 double t_break_s, double curvature)
+    : phi0_(phi0),
+      psi_stable_(psi_stable),
+      t_break_s_(t_break_s),
+      curvature_(curvature),
+      log_denominator_(std::log(curvature * t_break_s + 1.0)) {
+  detail::require(std::isfinite(phi0), "curve phi0 must be finite");
+  detail::require(std::isfinite(psi_stable), "curve psi_stable must be finite");
+  detail::require(t_break_s > 0.0, "curve t_break must be positive");
+  detail::require(curvature > 0.0, "curve curvature must be positive");
+}
+
+double PredefinedCurve::value(double t) const noexcept {
+  t = std::max(0.0, t);
+  if (t >= t_break_s_) return psi_stable_;
+  const double frac = std::log(curvature_ * t + 1.0) / log_denominator_;
+  return phi0_ + (psi_stable_ - phi0_) * frac;
+}
+
+}  // namespace vmtherm::core

@@ -1,0 +1,50 @@
+// vmtherm/core/curve.h
+//
+// The paper's pre-defined temperature curve ψ*(t), Eq. (3): a logarithmic
+// rise from the pre-experiment temperature φ(0) to the predicted stable
+// temperature ψ_stable over the settling period t_break, flat afterwards:
+//
+//   ψ*(t) = φ(0) + (ψ_stable − φ(0)) · ln(δ·t + 1) / ln(δ·t_break + 1),
+//                                                     0 <= t <= t_break
+//   ψ*(t) = ψ_stable,                                 t > t_break
+//
+// δ > 0 is a curvature parameter: larger δ front-loads the rise. The curve
+// is intentionally coarse (the true physics is exponential) — the dynamic
+// predictor's run-time calibration compensates.
+
+#pragma once
+
+#include "util/error.h"
+
+namespace vmtherm::core {
+
+/// Default curvature of the pre-defined curve.
+inline constexpr double kDefaultCurvature = 0.05;
+
+/// Immutable ψ*(t) instance.
+class PredefinedCurve {
+ public:
+  /// phi0: temperature before the experiment starts (φ(0)).
+  /// psi_stable: predicted stable temperature the curve converges to.
+  /// t_break: settling horizon in seconds (> 0).
+  /// curvature: δ (> 0).
+  PredefinedCurve(double phi0, double psi_stable, double t_break_s,
+                  double curvature = kDefaultCurvature);
+
+  /// ψ*(t). Negative t is clamped to 0.
+  double value(double t) const noexcept;
+
+  double phi0() const noexcept { return phi0_; }
+  double psi_stable() const noexcept { return psi_stable_; }
+  double t_break_s() const noexcept { return t_break_s_; }
+  double curvature() const noexcept { return curvature_; }
+
+ private:
+  double phi0_;
+  double psi_stable_;
+  double t_break_s_;
+  double curvature_;
+  double log_denominator_;  ///< ln(δ t_break + 1), precomputed
+};
+
+}  // namespace vmtherm::core

@@ -1,0 +1,29 @@
+#include "core/drift.h"
+
+#include <algorithm>
+
+namespace vmtherm::core {
+
+CusumDetector::CusumDetector(double slack_c, double threshold_c)
+    : slack_(slack_c), threshold_(threshold_c) {
+  detail::require(slack_c >= 0.0, "cusum slack must be >= 0");
+  detail::require(threshold_c > 0.0, "cusum threshold must be positive");
+}
+
+bool CusumDetector::observe(double residual_c) {
+  ++count_;
+  positive_ = std::max(0.0, positive_ + residual_c - slack_);
+  negative_ = std::max(0.0, negative_ - residual_c - slack_);
+  const bool fired = positive_ > threshold_ || negative_ > threshold_;
+  drifted_ = drifted_ || fired;
+  return fired;
+}
+
+void CusumDetector::reset() noexcept {
+  positive_ = 0.0;
+  negative_ = 0.0;
+  drifted_ = false;
+  count_ = 0;
+}
+
+}  // namespace vmtherm::core

@@ -1,0 +1,282 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vmtherm::core {
+
+std::vector<Record> generate_corpus(const sim::ScenarioRanges& ranges,
+                                    std::size_t n, std::uint64_t seed,
+                                    double t_break_s) {
+  sim::ScenarioSampler sampler(ranges, seed);
+  return profile_experiments(sampler.sample(n), t_break_s);
+}
+
+StableEvalResult evaluate_stable(const StableTemperaturePredictor& predictor,
+                                 const std::vector<Record>& test_records) {
+  detail::require_data(!test_records.empty(), "no test records");
+  StableEvalResult result;
+  std::vector<double> predicted;
+  std::vector<double> measured;
+  for (std::size_t i = 0; i < test_records.size(); ++i) {
+    const Record& r = test_records[i];
+    StableCasePoint point;
+    point.case_index = i;
+    point.vm_count = static_cast<int>(r.vm.vm_count);
+    point.measured_c = r.stable_temp_c;
+    point.predicted_c = predictor.predict(r);
+    result.cases.push_back(point);
+    predicted.push_back(point.predicted_c);
+    measured.push_back(point.measured_c);
+  }
+  result.mse = mse(predicted, measured);
+  result.mae = mae(predicted, measured);
+  result.max_abs_error = max_abs_error(predicted, measured);
+  return result;
+}
+
+namespace {
+
+/// Mutable view of the machine's logical configuration during a scenario
+/// (what the stable predictor is asked about).
+struct LogicalState {
+  std::vector<sim::VmConfig> vms;
+  int fans = 4;
+};
+
+}  // namespace
+
+DynamicEvalResult evaluate_dynamic(
+    const StableTemperaturePredictor& stable_predictor,
+    const DynamicScenario& scenario, const DynamicEvalOptions& options) {
+  const sim::ExperimentConfig& base = scenario.base;
+  base.validate();
+  options.dynamic.validate();
+  detail::require(options.gap_s > 0.0, "gap must be positive");
+  for (std::size_t i = 1; i < scenario.events.size(); ++i) {
+    detail::require(scenario.events[i - 1].time_s <= scenario.events[i].time_s,
+                    "scenario events must be sorted by time");
+  }
+
+  // --- assemble the machine-under-test (mirrors sim::run_experiment) ---
+  Rng rng(base.seed);
+  sim::EnvironmentSpec env_spec = base.environment;
+  env_spec.duration_s = base.duration_s;
+  sim::Environment env(env_spec, rng.fork(101));
+
+  sim::MachineOptions machine_options;
+  machine_options.sensor = base.sensor;
+  machine_options.active_fans = base.active_fans;
+  machine_options.initial_temp_c = base.initial_temp_c;
+  sim::PhysicalMachine machine(base.server, machine_options, rng.fork(102));
+
+  Rng vm_rng = rng.fork(103);
+  LogicalState logical;
+  logical.fans = base.active_fans;
+  for (std::size_t i = 0; i < base.vms.size(); ++i) {
+    machine.add_vm(
+        sim::Vm("vm-" + std::to_string(i), base.vms[i], vm_rng.fork(i)));
+    logical.vms.push_back(base.vms[i]);
+  }
+  // Names for VMs added by events: dyn-0, dyn-1, ... Track configs by id so
+  // kRemoveVm can update the logical view.
+  std::size_t dyn_counter = 0;
+  std::vector<std::pair<std::string, sim::VmConfig>> id_to_config;
+  for (std::size_t i = 0; i < base.vms.size(); ++i) {
+    id_to_config.emplace_back("vm-" + std::to_string(i), base.vms[i]);
+  }
+
+  // --- online predictor ---
+  DynamicTemperaturePredictor predictor(options.dynamic);
+  const double phi0 = machine.thermal().die_temp_c();
+  predictor.begin(0.0, phi0,
+                  stable_predictor.predict(base.server, logical.vms,
+                                           logical.fans,
+                                           base.environment.base_c));
+
+  DynamicEvalResult result;
+  result.trace = sim::TemperatureTrace(base.sample_interval_s);
+  sim::TracePoint p0;
+  p0.time_s = 0.0;
+  p0.cpu_temp_true_c = phi0;
+  p0.cpu_temp_sensed_c = phi0;
+  p0.env_temp_c = env.current_c();
+  p0.vm_count = static_cast<int>(machine.vm_count());
+  result.trace.push_back(p0);
+  result.model_trajectory.push_back(predictor.predict_at(0.0));
+
+  struct PendingPrediction {
+    double target_time_s;
+    double value;
+  };
+  std::vector<PendingPrediction> pending;
+  pending.push_back({options.gap_s, predictor.predict_at(options.gap_s)});
+
+  // --- run ---
+  const double dt = base.sample_interval_s;
+  const auto steps = static_cast<std::size_t>(
+      std::llround(base.duration_s / base.sample_interval_s));
+  std::size_t next_event = 0;
+
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const double t = static_cast<double>(i) * dt;
+
+    // Apply events due strictly before/at this step boundary.
+    while (next_event < scenario.events.size() &&
+           scenario.events[next_event].time_s <= t) {
+      const ScenarioEvent& ev = scenario.events[next_event];
+      switch (ev.kind) {
+        case ScenarioEvent::Kind::kAddVm: {
+          const std::string id = "dyn-" + std::to_string(dyn_counter++);
+          machine.add_vm(sim::Vm(id, ev.vm, vm_rng.fork(1000 + dyn_counter)));
+          logical.vms.push_back(ev.vm);
+          id_to_config.emplace_back(id, ev.vm);
+          break;
+        }
+        case ScenarioEvent::Kind::kRemoveVm: {
+          machine.remove_vm(ev.vm_id);
+          for (auto it = id_to_config.begin(); it != id_to_config.end(); ++it) {
+            if (it->first == ev.vm_id) {
+              // Erase the matching config from the logical view (first
+              // equivalent entry).
+              for (auto vit = logical.vms.begin(); vit != logical.vms.end();
+                   ++vit) {
+                if (vit->vcpus == it->second.vcpus &&
+                    vit->memory_gb == it->second.memory_gb &&
+                    vit->task == it->second.task) {
+                  logical.vms.erase(vit);
+                  break;
+                }
+              }
+              id_to_config.erase(it);
+              break;
+            }
+          }
+          break;
+        }
+        case ScenarioEvent::Kind::kSetFans:
+          machine.set_active_fans(ev.fans);
+          logical.fans = std::clamp(ev.fans, 1, base.server.fan_slots);
+          break;
+      }
+      // Re-aim the curve: new stable target from the updated configuration,
+      // starting at the current measured operating point.
+      const double phi_now = machine.last_sample().time_s > 0.0
+                                 ? machine.last_sample().cpu_temp_sensed_c
+                                 : phi0;
+      predictor.retarget(
+          ev.time_s <= t ? machine.time_s() : t, phi_now,
+          stable_predictor.predict(base.server, logical.vms, logical.fans,
+                                   base.environment.base_c));
+      ++next_event;
+    }
+
+    const double ambient = env.step(dt);
+    const sim::MachineSample s = machine.step(dt, ambient);
+
+    sim::TracePoint p;
+    p.time_s = s.time_s;
+    p.cpu_temp_true_c = s.cpu_temp_true_c;
+    p.cpu_temp_sensed_c = s.cpu_temp_sensed_c;
+    p.env_temp_c = ambient;
+    p.power_watts = s.power_watts;
+    p.utilization = s.utilization;
+    p.vm_count = s.vm_count;
+    result.trace.push_back(p);
+
+    // Observe, record the model's own trajectory, then predict ahead.
+    predictor.observe(t, s.cpu_temp_sensed_c);
+    result.model_trajectory.push_back(predictor.predict_at(t));
+    pending.push_back({t + options.gap_s, predictor.predict_at(t + options.gap_s)});
+  }
+
+  // --- match predictions to later measurements ---
+  std::vector<double> predicted;
+  std::vector<double> measured;
+  for (const auto& pp : pending) {
+    if (pp.target_time_s > result.trace.duration_s()) continue;
+    DynamicEvalPoint point;
+    point.target_time_s = pp.target_time_s;
+    point.predicted_c = pp.value;
+    point.measured_c = result.trace.sensed_at(pp.target_time_s);
+    result.points.push_back(point);
+    predicted.push_back(point.predicted_c);
+    measured.push_back(point.measured_c);
+  }
+  detail::require_data(!predicted.empty(),
+                       "dynamic scenario produced no matched predictions");
+  result.mse = mse(predicted, measured);
+  result.mae = mae(predicted, measured);
+  return result;
+}
+
+std::vector<std::vector<double>> sweep_gap_update(
+    const StableTemperaturePredictor& stable_predictor,
+    const std::vector<DynamicScenario>& scenarios,
+    const std::vector<double>& gaps, const std::vector<double>& updates,
+    const DynamicOptions& base_options) {
+  detail::require(!scenarios.empty(), "sweep needs at least one scenario");
+  detail::require(!gaps.empty() && !updates.empty(),
+                  "sweep needs gap and update values");
+
+  std::vector<std::vector<double>> grid(
+      gaps.size(), std::vector<double>(updates.size(), 0.0));
+  for (std::size_t gi = 0; gi < gaps.size(); ++gi) {
+    for (std::size_t ui = 0; ui < updates.size(); ++ui) {
+      double total_mse = 0.0;
+      for (const auto& scenario : scenarios) {
+        DynamicEvalOptions opts;
+        opts.gap_s = gaps[gi];
+        opts.dynamic = base_options;
+        opts.dynamic.update_interval_s = updates[ui];
+        total_mse += evaluate_dynamic(stable_predictor, scenario, opts).mse;
+      }
+      grid[gi][ui] = total_mse / static_cast<double>(scenarios.size());
+    }
+  }
+  return grid;
+}
+
+DynamicScenario make_random_dynamic_scenario(const sim::ScenarioRanges& ranges,
+                                             int fans, std::uint64_t seed) {
+  sim::ScenarioSampler sampler(ranges, seed);
+  DynamicScenario scenario;
+  scenario.base = sampler.next();
+  scenario.base.active_fans =
+      std::clamp(fans, 1, scenario.base.server.fan_slots);
+
+  Rng rng(seed ^ 0xD1DAC71CULL);
+
+  // One VM added in the first half, one initial VM removed in the second
+  // half — the "dynamic scenario" the paper motivates (placement + churn).
+  double used_memory = 0.0;
+  for (const auto& vm : scenario.base.vms) used_memory += vm.memory_gb;
+  const double free_memory = scenario.base.server.memory_gb - used_memory;
+
+  if (free_memory >= 2.0) {
+    ScenarioEvent add;
+    add.kind = ScenarioEvent::Kind::kAddVm;
+    add.time_s = rng.uniform(0.25, 0.45) * scenario.base.duration_s;
+    add.vm.vcpus = 2 * rng.uniform_int(1, 2);
+    add.vm.memory_gb = free_memory >= 4.0 ? 4.0 : 2.0;
+    const auto types = sim::all_task_types();
+    add.vm.task = types[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(types.size()) - 1))];
+    scenario.events.push_back(add);
+  }
+
+  if (!scenario.base.vms.empty()) {
+    ScenarioEvent remove;
+    remove.kind = ScenarioEvent::Kind::kRemoveVm;
+    remove.time_s = rng.uniform(0.6, 0.8) * scenario.base.duration_s;
+    remove.vm_id =
+        "vm-" + std::to_string(rng.uniform_int(
+                    0, static_cast<int>(scenario.base.vms.size()) - 1));
+    scenario.events.push_back(remove);
+  }
+  return scenario;
+}
+
+}  // namespace vmtherm::core

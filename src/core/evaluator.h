@@ -1,0 +1,117 @@
+// vmtherm/core/evaluator.h
+//
+// End-to-end evaluation harness: corpus generation, stable-prediction
+// scoring (Fig. 1a), online dynamic-prediction scoring on scripted
+// scenarios (Fig. 1b) and the prediction-gap x update-interval sweep
+// (Fig. 1c). Benches and examples drive everything through this header.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dynamic_predictor.h"
+#include "core/stable_predictor.h"
+#include "sim/experiment.h"
+
+namespace vmtherm::core {
+
+// ---------------------------------------------------------------- corpus --
+
+/// Samples `n` random experiment configurations, runs each on the simulated
+/// testbed and profiles it into a labelled Record. Deterministic in `seed`.
+std::vector<Record> generate_corpus(const sim::ScenarioRanges& ranges,
+                                    std::size_t n, std::uint64_t seed,
+                                    double t_break_s = kDefaultTbreakS);
+
+// -------------------------------------------------- stable (Fig. 1a) -----
+
+/// One stable-prediction test case.
+struct StableCasePoint {
+  std::size_t case_index = 0;
+  int vm_count = 0;
+  double measured_c = 0.0;   ///< ψ_stable from the testbed (Eq. 1)
+  double predicted_c = 0.0;  ///< model output
+};
+
+/// Scoring of a predictor over held-out records.
+struct StableEvalResult {
+  std::vector<StableCasePoint> cases;
+  double mse = 0.0;
+  double mae = 0.0;
+  double max_abs_error = 0.0;
+};
+
+/// Scores `predictor` against the labels of `test_records`.
+StableEvalResult evaluate_stable(const StableTemperaturePredictor& predictor,
+                                 const std::vector<Record>& test_records);
+
+// -------------------------------------------------- dynamic (Fig. 1b/1c) --
+
+/// A scripted run-time change to the machine under test.
+struct ScenarioEvent {
+  enum class Kind { kAddVm, kRemoveVm, kSetFans };
+  Kind kind = Kind::kAddVm;
+  double time_s = 0.0;
+  sim::VmConfig vm;     ///< for kAddVm
+  std::string vm_id;    ///< for kRemoveVm ("vm-<i>" of the initial set, or
+                        ///< "dyn-<i>" for the i-th added VM)
+  int fans = 4;         ///< for kSetFans
+};
+
+/// A dynamic scenario: an initial experiment configuration plus scripted
+/// events. Events must be sorted by time.
+struct DynamicScenario {
+  sim::ExperimentConfig base;
+  std::vector<ScenarioEvent> events;
+};
+
+/// Options for online dynamic evaluation.
+struct DynamicEvalOptions {
+  double gap_s = 60.0;     ///< Δ_gap: how far ahead each prediction looks
+  DynamicOptions dynamic;  ///< λ, Δ_update, t_break, curvature, on/off
+};
+
+/// One matched (prediction, later measurement) pair.
+struct DynamicEvalPoint {
+  double target_time_s = 0.0;  ///< when the prediction was for
+  double predicted_c = 0.0;
+  double measured_c = 0.0;     ///< sensed temperature at target time
+};
+
+/// Outcome of one online dynamic run.
+struct DynamicEvalResult {
+  std::vector<DynamicEvalPoint> points;
+  double mse = 0.0;
+  double mae = 0.0;
+  sim::TemperatureTrace trace;  ///< full trace, for plotting/case studies
+  /// ψ*(t)+γ evaluated at every trace point (the model's own trajectory,
+  /// aligned with trace — used for Fig. 1(b) style plots).
+  std::vector<double> model_trajectory;
+};
+
+/// Runs the scenario online: at every sample the predictor observes the
+/// sensed temperature, then issues a prediction Δ_gap ahead; predictions
+/// are later matched against the sensed value at their target time. The
+/// stable predictor supplies ψ_stable at start and after every event
+/// (retargeting).
+DynamicEvalResult evaluate_dynamic(
+    const StableTemperaturePredictor& stable_predictor,
+    const DynamicScenario& scenario, const DynamicEvalOptions& options);
+
+// ------------------------------------------------------------ sweeps -----
+
+/// MSE for every (gap, update-interval) combination, averaged over
+/// `scenarios`. Result is row-major: result[i][j] is gaps[i] x updates[j].
+std::vector<std::vector<double>> sweep_gap_update(
+    const StableTemperaturePredictor& stable_predictor,
+    const std::vector<DynamicScenario>& scenarios,
+    const std::vector<double>& gaps, const std::vector<double>& updates,
+    const DynamicOptions& base_options);
+
+/// Builds a randomized dynamic scenario: random initial placement plus a
+/// few VM add/remove events mid-run. `fans` pins θ_fan (Fig. 1c uses 4).
+DynamicScenario make_random_dynamic_scenario(const sim::ScenarioRanges& ranges,
+                                             int fans, std::uint64_t seed);
+
+}  // namespace vmtherm::core

@@ -1,0 +1,63 @@
+#include "core/profiler.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vmtherm::core {
+
+double stable_temperature(const sim::TemperatureTrace& trace,
+                          double t_break_s) {
+  detail::require_data(!trace.empty(), "stable_temperature on empty trace");
+  detail::require_data(trace.duration_s() > t_break_s,
+                       "trace does not extend past t_break");
+  return trace.mean_sensed_between(t_break_s, trace.duration_s());
+}
+
+StabilityReport profile_trace(const sim::TemperatureTrace& trace,
+                              const ProfilerOptions& options) {
+  StabilityReport report;
+  report.psi_stable = stable_temperature(trace, options.t_break_s);
+
+  RunningStats window;
+  for (const auto& p : trace.points()) {
+    if (p.time_s >= options.t_break_s) window.add(p.cpu_temp_sensed_c);
+  }
+  report.window_stddev_c = window.stddev();
+  report.stable = report.window_stddev_c < options.stability_stddev_c;
+
+  // Settling time: last instant the sensed temperature is farther than 1 °C
+  // from psi_stable, i.e. afterwards it stays within the band.
+  double last_outside = -1.0;
+  for (const auto& p : trace.points()) {
+    if (std::abs(p.cpu_temp_sensed_c - report.psi_stable) > 1.0) {
+      last_outside = p.time_s;
+    }
+  }
+  if (last_outside < trace.duration_s()) {
+    report.settling_time_s = last_outside < 0.0 ? 0.0 : last_outside;
+  }
+  return report;
+}
+
+Record profile_experiment(const sim::ExperimentConfig& config,
+                          double t_break_s) {
+  const sim::ExperimentResult result = sim::run_experiment(config);
+  Record record = make_record_inputs(config.server, config.vms,
+                                     config.active_fans,
+                                     config.environment.base_c);
+  record.stable_temp_c = stable_temperature(result.trace, t_break_s);
+  return record;
+}
+
+std::vector<Record> profile_experiments(
+    const std::vector<sim::ExperimentConfig>& configs, double t_break_s) {
+  std::vector<Record> records;
+  records.reserve(configs.size());
+  for (const auto& config : configs) {
+    records.push_back(profile_experiment(config, t_break_s));
+  }
+  return records;
+}
+
+}  // namespace vmtherm::core

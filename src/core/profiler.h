@@ -1,0 +1,58 @@
+// vmtherm/core/profiler.h
+//
+// Temperature profiling: Eq. (1) of the paper. The stable CPU temperature
+// ψ_stable of an experiment is the mean measured temperature over
+// [t_break, t_exp], with t_break = 600 s deduced from the paper's
+// experiments. Also provides stability diagnostics used to sanity-check
+// that t_break is adequate for a given trace.
+
+#pragma once
+
+#include "core/record.h"
+#include "sim/trace.h"
+
+namespace vmtherm::core {
+
+/// Default settling time before temperatures count as stable (paper: 600 s).
+inline constexpr double kDefaultTbreakS = 600.0;
+
+/// Profiling configuration.
+struct ProfilerOptions {
+  double t_break_s = kDefaultTbreakS;
+  /// A trace window is considered stable when the sensed-temperature
+  /// standard deviation inside it is below this (diagnostics only).
+  double stability_stddev_c = 0.8;
+};
+
+/// ψ_stable per Eq. (1): mean *sensed* temperature over [t_break, t_exp].
+/// Throws DataError when the trace does not extend past t_break.
+double stable_temperature(const sim::TemperatureTrace& trace,
+                          double t_break_s = kDefaultTbreakS);
+
+/// Stability diagnostics for a trace.
+struct StabilityReport {
+  double psi_stable = 0.0;     ///< Eq. (1) value
+  double window_stddev_c = 0.0; ///< sensed-temperature stddev past t_break
+  bool stable = false;         ///< stddev below the configured threshold
+  /// First time the sensed temperature enters and stays within 1 °C of
+  /// ψ_stable (-1 when it never does).
+  double settling_time_s = -1.0;
+};
+
+/// Computes ψ_stable + diagnostics.
+StabilityReport profile_trace(const sim::TemperatureTrace& trace,
+                              const ProfilerOptions& options = {});
+
+/// Runs the experiment and converts it to a labelled Record: inputs from
+/// the configuration (nominal environment = the schedule's base value),
+/// label from Eq. (1) on the produced trace.
+Record profile_experiment(const sim::ExperimentConfig& config,
+                          double t_break_s = kDefaultTbreakS);
+
+/// Convenience for corpus building: runs every configuration and returns
+/// the labelled records.
+std::vector<Record> profile_experiments(
+    const std::vector<sim::ExperimentConfig>& configs,
+    double t_break_s = kDefaultTbreakS);
+
+}  // namespace vmtherm::core

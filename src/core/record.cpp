@@ -1,0 +1,91 @@
+#include "core/record.h"
+
+#include <algorithm>
+
+namespace vmtherm::core {
+
+VmSetFeatures make_vm_set_features(const std::vector<sim::VmConfig>& vms) {
+  VmSetFeatures f;
+  f.vm_count = static_cast<double>(vms.size());
+  if (vms.empty()) return f;
+
+  double demand_sum = 0.0;
+  for (const auto& vm : vms) {
+    f.total_vcpus += static_cast<double>(vm.vcpus);
+    f.total_memory_gb += vm.memory_gb;
+    f.active_memory_gb += vm.memory_gb * sim::task_type_memory_activity(vm.task);
+    const double demand = sim::task_type_mean_utilization(vm.task);
+    demand_sum += demand;
+    f.max_util_demand = std::max(f.max_util_demand, demand);
+    f.demanded_cores += demand * static_cast<double>(vm.vcpus);
+
+    const auto types = sim::all_task_types();
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      if (types[t] == vm.task) f.task_share[t] += 1.0;
+    }
+  }
+  f.mean_util_demand = demand_sum / static_cast<double>(vms.size());
+  for (double& share : f.task_share) {
+    share /= static_cast<double>(vms.size());
+  }
+  return f;
+}
+
+Record make_record_inputs(const sim::ServerSpec& server,
+                          const std::vector<sim::VmConfig>& vms,
+                          int active_fans, double env_temp_c) {
+  Record r;
+  r.cpu_capacity_ghz = server.cpu_capacity_ghz();
+  r.physical_cores = static_cast<double>(server.physical_cores);
+  r.memory_gb = server.memory_gb;
+  r.fan_count = static_cast<double>(active_fans);
+  r.vm = make_vm_set_features(vms);
+  r.env_temp_c = env_temp_c;
+  return r;
+}
+
+std::vector<double> to_feature_vector(const Record& record) {
+  std::vector<double> x;
+  x.reserve(kRecordFeatureCount);
+  x.push_back(record.cpu_capacity_ghz);
+  x.push_back(record.physical_cores);
+  x.push_back(record.memory_gb);
+  x.push_back(record.fan_count);
+  x.push_back(record.env_temp_c);
+  x.push_back(record.vm.vm_count);
+  x.push_back(record.vm.total_vcpus);
+  x.push_back(record.vm.total_memory_gb);
+  x.push_back(record.vm.active_memory_gb);
+  x.push_back(record.vm.mean_util_demand);
+  x.push_back(record.vm.max_util_demand);
+  x.push_back(record.vm.demanded_cores);
+  // Derived saturation feature: the expected aggregate CPU utilization,
+  // min(1, demanded cores / physical cores) -- the dominant nonlinearity of
+  // the power model, made explicit so the kernel does not have to learn it.
+  const double expected_util =
+      record.physical_cores > 0.0
+          ? std::min(1.0, record.vm.demanded_cores / record.physical_cores)
+          : 0.0;
+  x.push_back(expected_util);
+  for (double share : record.vm.task_share) x.push_back(share);
+  return x;
+}
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n = {
+        "cpu_capacity_ghz", "physical_cores",   "memory_gb",
+        "fan_count",        "env_temp_c",       "vm_count",
+        "total_vcpus",      "total_memory_gb",  "active_memory_gb",
+        "mean_util_demand", "max_util_demand",  "demanded_cores",
+        "expected_utilization",
+    };
+    for (sim::TaskType t : sim::all_task_types()) {
+      n.push_back("share_" + sim::task_type_name(t));
+    }
+    return n;
+  }();
+  return names;
+}
+
+}  // namespace vmtherm::core

@@ -1,0 +1,75 @@
+// vmtherm/core/record.h
+//
+// The Eq. (2) data record: the feature vector the paper feeds its SVM and
+// the stable-temperature label.
+//
+//   data = { input, output }
+//   input  = { θ_cpu, θ_memory, θ_fan, ξ_VM, δ_env }
+//   output = ψ_stable
+//
+// ξ_VM ("VM configurations and deployed tasks") must be a fixed-length
+// encoding usable regardless of how many VMs are resident; we use counts,
+// resource sums, aggregate utilization demand and the task-type mix.
+
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/machine.h"
+
+namespace vmtherm::core {
+
+/// Fixed-length encoding of the resident VM set (the ξ_VM input).
+struct VmSetFeatures {
+  double vm_count = 0.0;
+  double total_vcpus = 0.0;
+  double total_memory_gb = 0.0;
+  /// Actively touched memory Σ mem_i * activity(task_i) — derivable from
+  /// the VM configs + deployed tasks (drives the memory power term).
+  double active_memory_gb = 0.0;
+  /// Mean per-vCPU long-run utilization demand of the deployed tasks.
+  double mean_util_demand = 0.0;
+  /// Max per-vCPU long-run utilization demand across VMs.
+  double max_util_demand = 0.0;
+  /// Demanded cores: Σ vcpus_i * demand_i (before capacity capping).
+  double demanded_cores = 0.0;
+  /// Fraction of VMs running each task type, in all_task_types() order.
+  std::array<double, sim::kTaskTypeCount> task_share{};
+};
+
+/// One training/test record in the paper's Eq. (2) format.
+struct Record {
+  // --- input ---
+  double cpu_capacity_ghz = 0.0;  ///< θ_cpu (cores x GHz)
+  double physical_cores = 0.0;    ///< θ_cpu companion: core count
+  double memory_gb = 0.0;         ///< θ_memory
+  double fan_count = 0.0;         ///< θ_fan
+  VmSetFeatures vm;               ///< ξ_VM
+  double env_temp_c = 0.0;        ///< δ_env
+  // --- output ---
+  double stable_temp_c = 0.0;     ///< ψ_stable (label; 0 when unlabeled)
+};
+
+/// Number of model features a Record encodes to: 5 server/env scalars +
+/// 7 VM-set scalars + 1 derived saturation feature + the task-share vector.
+inline constexpr std::size_t kRecordFeatureCount = 13 + sim::kTaskTypeCount;
+
+/// Feature-vector encoding (order matches feature_names()).
+std::vector<double> to_feature_vector(const Record& record);
+
+/// Human-readable names, aligned with to_feature_vector().
+const std::vector<std::string>& feature_names();
+
+/// Builds ξ_VM features from a list of VM configurations.
+VmSetFeatures make_vm_set_features(const std::vector<sim::VmConfig>& vms);
+
+/// Builds the unlabeled input part of a record from experiment inputs:
+/// server spec, VM set, fan count and (nominal) environment temperature.
+Record make_record_inputs(const sim::ServerSpec& server,
+                          const std::vector<sim::VmConfig>& vms,
+                          int active_fans, double env_temp_c);
+
+}  // namespace vmtherm::core

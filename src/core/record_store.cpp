@@ -1,0 +1,106 @@
+#include "core/record_store.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace vmtherm::core {
+
+void write_records_csv(std::ostream& os, const std::vector<Record>& records) {
+  CsvWriter writer(os);
+  std::vector<std::string> header = feature_names();
+  header.push_back("stable_temp_c");
+  writer.write_row(header);
+  for (const auto& r : records) {
+    std::vector<std::string> row;
+    for (double v : to_feature_vector(r)) row.push_back(Table::num(v, 10));
+    row.push_back(Table::num(r.stable_temp_c, 10));
+    writer.write_row(row);
+  }
+}
+
+namespace {
+
+double parse_cell(const std::string& cell, const std::string& column) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(cell, &consumed);
+    if (consumed != cell.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw IoError("records csv: bad number '" + cell + "' in column " +
+                  column);
+  }
+}
+
+}  // namespace
+
+std::vector<Record> read_records_csv(std::istream& is) {
+  const CsvDocument doc = read_csv(is);
+
+  auto col = [&](const std::string& name) { return doc.column(name); };
+  const std::size_t c_capacity = col("cpu_capacity_ghz");
+  const std::size_t c_cores = col("physical_cores");
+  const std::size_t c_memory = col("memory_gb");
+  const std::size_t c_fans = col("fan_count");
+  const std::size_t c_env = col("env_temp_c");
+  const std::size_t c_vm_count = col("vm_count");
+  const std::size_t c_vcpus = col("total_vcpus");
+  const std::size_t c_total_mem = col("total_memory_gb");
+  const std::size_t c_active_mem = col("active_memory_gb");
+  const std::size_t c_mean_util = col("mean_util_demand");
+  const std::size_t c_max_util = col("max_util_demand");
+  const std::size_t c_demanded = col("demanded_cores");
+  const std::size_t c_label = col("stable_temp_c");
+  std::vector<std::size_t> c_share;
+  for (sim::TaskType t : sim::all_task_types()) {
+    c_share.push_back(col("share_" + sim::task_type_name(t)));
+  }
+
+  std::vector<Record> records;
+  records.reserve(doc.rows.size());
+  for (const auto& row : doc.rows) {
+    auto cell = [&](std::size_t c) {
+      return parse_cell(row[c], doc.header[c]);
+    };
+    Record r;
+    r.cpu_capacity_ghz = cell(c_capacity);
+    r.physical_cores = cell(c_cores);
+    r.memory_gb = cell(c_memory);
+    r.fan_count = cell(c_fans);
+    r.env_temp_c = cell(c_env);
+    r.vm.vm_count = cell(c_vm_count);
+    r.vm.total_vcpus = cell(c_vcpus);
+    r.vm.total_memory_gb = cell(c_total_mem);
+    r.vm.active_memory_gb = cell(c_active_mem);
+    r.vm.mean_util_demand = cell(c_mean_util);
+    r.vm.max_util_demand = cell(c_max_util);
+    r.vm.demanded_cores = cell(c_demanded);
+    for (std::size_t t = 0; t < c_share.size(); ++t) {
+      r.vm.task_share[t] = cell(c_share[t]);
+    }
+    r.stable_temp_c = cell(c_label);
+    records.push_back(r);
+  }
+  return records;
+}
+
+void write_records_csv_file(const std::string& path,
+                            const std::vector<Record>& records) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create records csv: " + path);
+  write_records_csv(out, records);
+}
+
+std::vector<Record> read_records_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open records csv: " + path);
+  return read_records_csv(in);
+}
+
+}  // namespace vmtherm::core

@@ -1,0 +1,32 @@
+// vmtherm/core/record_store.h
+//
+// CSV persistence for Eq. (2) records. Profiling experiments are expensive
+// (minutes of wall-clock per record on a real testbed); a deployment
+// collects them continuously and retrains offline. This module round-trips
+// record corpora through CSV so the training pipeline can run from files.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/record.h"
+
+namespace vmtherm::core {
+
+/// Writes records as CSV: one column per feature (named as in
+/// feature_names()) plus the label column "stable_temp_c".
+void write_records_csv(std::ostream& os, const std::vector<Record>& records);
+
+/// Reads records from CSV produced by write_records_csv (column order free;
+/// columns are matched by name). Throws IoError on missing columns or
+/// unparseable numbers.
+std::vector<Record> read_records_csv(std::istream& is);
+
+/// File-path conveniences; throw IoError on open/create failure.
+void write_records_csv_file(const std::string& path,
+                            const std::vector<Record>& records);
+std::vector<Record> read_records_csv_file(const std::string& path);
+
+}  // namespace vmtherm::core

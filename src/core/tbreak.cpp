@@ -1,0 +1,118 @@
+#include "core/tbreak.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vmtherm::core {
+
+SettlingAnalysis analyze_settling(const sim::TemperatureTrace& trace,
+                                  double band_c) {
+  detail::require_data(trace.size() >= 10,
+                       "settling analysis needs at least 10 trace points");
+  detail::require(band_c > 0.0, "settling band must be positive");
+
+  SettlingAnalysis result;
+
+  // Smooth with a centered moving average (~30 s window) so sensor noise
+  // and quantization do not masquerade as instability.
+  const auto half_window = static_cast<std::size_t>(
+      std::max(1.0, 15.0 / std::max(1e-9, trace.interval_s())));
+  std::vector<double> smoothed(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::size_t lo = i >= half_window ? i - half_window : 0;
+    const std::size_t hi = std::min(trace.size() - 1, i + half_window);
+    double sum = 0.0;
+    for (std::size_t k = lo; k <= hi; ++k) sum += trace[k].cpu_temp_sensed_c;
+    smoothed[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+
+  // Final value: mean over the last 10% of the smoothed trace.
+  const std::size_t final_start = trace.size() - trace.size() / 10;
+  RunningStats final_window;
+  for (std::size_t i = final_start; i < trace.size(); ++i) {
+    final_window.add(smoothed[i]);
+  }
+  result.final_value_c = final_window.mean();
+
+  // Stationary envelope: the spread the trace exhibits over its last 25%.
+  // A steadily oscillating workload (diurnal web server) "settles" into a
+  // cycle, not a constant — the band must cover that cycle.
+  const std::size_t tail_start = trace.size() - trace.size() / 4;
+  double tail_spread = 0.0;
+  for (std::size_t i = tail_start; i < trace.size(); ++i) {
+    tail_spread = std::max(tail_spread,
+                           std::abs(smoothed[i] - result.final_value_c));
+  }
+  result.effective_band_c = std::max(band_c, 1.1 * tail_spread);
+
+  // Tail trend (least-squares slope of the smoothed tail): a trace whose
+  // tail still drifts by more than band_c over a tail-length has not
+  // reached a stationary regime at all.
+  {
+    double sxy = 0.0;
+    double sxx = 0.0;
+    const std::size_t n_tail = trace.size() - tail_start;
+    double mean_t = 0.0;
+    double mean_y = 0.0;
+    for (std::size_t i = tail_start; i < trace.size(); ++i) {
+      mean_t += trace[i].time_s;
+      mean_y += smoothed[i];
+    }
+    mean_t /= static_cast<double>(n_tail);
+    mean_y /= static_cast<double>(n_tail);
+    for (std::size_t i = tail_start; i < trace.size(); ++i) {
+      const double dt = trace[i].time_s - mean_t;
+      sxy += dt * (smoothed[i] - mean_y);
+      sxx += dt * dt;
+    }
+    result.tail_trend_c_per_s = sxx > 0.0 ? sxy / sxx : 0.0;
+  }
+  const double tail_span_s = trace.duration_s() / 4.0;
+  if (std::abs(result.tail_trend_c_per_s) * tail_span_s > band_c) {
+    result.settling_time_s = trace.duration_s();
+    result.settled = false;
+    return result;
+  }
+
+  // Last instant outside the effective band; settling is just after it.
+  double last_outside = -1.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (std::abs(smoothed[i] - result.final_value_c) >
+        result.effective_band_c) {
+      last_outside = trace[i].time_s;
+    }
+  }
+  if (last_outside < 0.0) {
+    result.settling_time_s = 0.0;
+    result.settled = true;
+  } else if (last_outside >= trace.duration_s() - 1e-9) {
+    result.settling_time_s = trace.duration_s();
+    result.settled = false;
+  } else {
+    result.settling_time_s = last_outside;
+    result.settled = true;
+  }
+  return result;
+}
+
+TbreakStudy study_t_break(const std::vector<sim::ExperimentConfig>& configs,
+                          double band_c, double quantile_q) {
+  detail::require(!configs.empty(), "t_break study needs experiments");
+  detail::require(quantile_q >= 0.0 && quantile_q <= 1.0,
+                  "quantile must be in [0, 1]");
+
+  TbreakStudy study;
+  for (const auto& config : configs) {
+    const auto result = sim::run_experiment(config);
+    const auto analysis = analyze_settling(result.trace, band_c);
+    study.settling_times_s.push_back(analysis.settling_time_s);
+    if (!analysis.settled) ++study.unsettled_count;
+  }
+  std::sort(study.settling_times_s.begin(), study.settling_times_s.end());
+  study.recommended_t_break_s = quantile(study.settling_times_s, quantile_q);
+  return study;
+}
+
+}  // namespace vmtherm::core

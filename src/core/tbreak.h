@@ -1,0 +1,58 @@
+// vmtherm/core/tbreak.h
+//
+// Data-driven selection of t_break. The paper sets t_break = 600 s,
+// "deduced from experiments"; this module reproduces that deduction: the
+// settling time of a trace is when the temperature enters (and stays in) a
+// band around its final stable value, and t_break is chosen as a high
+// quantile of settling times over a corpus of experiments.
+
+#pragma once
+
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/trace.h"
+
+namespace vmtherm::core {
+
+/// Settling-time analysis of one trace.
+///
+/// "Settled" means the cold-start transient has decayed and the trace has
+/// entered its *stationary* regime — which may be a noisy level or a
+/// steady oscillation (diurnal web workloads). The analysis therefore
+/// widens the user band to the spread the trace exhibits in its own tail
+/// (the stationary envelope), and separately flags traces whose tail still
+/// trends (those never settle within the run).
+struct SettlingAnalysis {
+  /// The trace's final stable value (mean of the last 10% of samples,
+  /// smoothed).
+  double final_value_c = 0.0;
+  /// Band actually used: max(band_c, 1.1 x max tail deviation).
+  double effective_band_c = 0.0;
+  /// Linear trend of the smoothed tail (deg C per second).
+  double tail_trend_c_per_s = 0.0;
+  /// First time after which the smoothed temperature stays within
+  /// effective_band_c of final_value_c. 0 when stable from the start;
+  /// equal to the trace duration when it never settles.
+  double settling_time_s = 0.0;
+  bool settled = false;
+};
+
+/// Computes the settling time of a trace for the given tolerance band.
+/// Throws DataError on traces with fewer than 10 points.
+SettlingAnalysis analyze_settling(const sim::TemperatureTrace& trace,
+                                  double band_c = 1.0);
+
+/// Study over a corpus of experiment configurations: runs each, extracts
+/// settling times, and recommends t_break as the `quantile`-quantile
+/// settling time (paper uses what amounts to a high quantile -> 600 s).
+struct TbreakStudy {
+  std::vector<double> settling_times_s;  ///< one per experiment, sorted
+  double recommended_t_break_s = 0.0;
+  std::size_t unsettled_count = 0;  ///< traces that never settled
+};
+
+TbreakStudy study_t_break(const std::vector<sim::ExperimentConfig>& configs,
+                          double band_c = 1.0, double quantile = 0.9);
+
+}  // namespace vmtherm::core

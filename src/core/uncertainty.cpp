@@ -1,0 +1,41 @@
+#include "core/uncertainty.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmtherm::core {
+
+ConformalPredictor::ConformalPredictor(
+    const StableTemperaturePredictor& predictor,
+    const std::vector<Record>& calibration)
+    : predictor_(predictor) {
+  detail::require_data(!calibration.empty(),
+                       "conformal calibration set is empty");
+  abs_residuals_.reserve(calibration.size());
+  for (const auto& r : calibration) {
+    abs_residuals_.push_back(std::abs(predictor_.predict(r) - r.stable_temp_c));
+  }
+  std::sort(abs_residuals_.begin(), abs_residuals_.end());
+}
+
+double ConformalPredictor::quantile_c(double alpha) const {
+  detail::require(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+  const auto n = abs_residuals_.size();
+  // Split-conformal rank: ceil((n + 1) * (1 - alpha)), clamped to n.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(n + 1) * (1.0 - alpha)));
+  const std::size_t index = std::min(n, std::max<std::size_t>(1, rank)) - 1;
+  return abs_residuals_[index];
+}
+
+PredictionInterval ConformalPredictor::interval(const Record& record,
+                                                double alpha) const {
+  const double q = quantile_c(alpha);
+  PredictionInterval out;
+  out.prediction_c = predictor_.predict(record);
+  out.lower_c = out.prediction_c - q;
+  out.upper_c = out.prediction_c + q;
+  return out;
+}
+
+}  // namespace vmtherm::core

@@ -1,0 +1,56 @@
+// vmtherm/core/uncertainty.h
+//
+// Prediction intervals for the stable-temperature model via split conformal
+// prediction: calibrate on held-out residuals, then report
+// [prediction - q, prediction + q] where q is the ceil((n+1)(1-alpha))/n
+// empirical quantile of the absolute calibration residuals. The interval
+// covers the true value with probability >= 1 - alpha (exchangeability),
+// regardless of the SVR's own error distribution — which is what a
+// thermal-safety consumer (setpoint planner, hotspot alarm) actually needs.
+
+#pragma once
+
+#include <vector>
+
+#include "core/stable_predictor.h"
+
+namespace vmtherm::core {
+
+/// A symmetric prediction interval.
+struct PredictionInterval {
+  double prediction_c = 0.0;
+  double lower_c = 0.0;
+  double upper_c = 0.0;
+
+  double half_width_c() const noexcept { return prediction_c - lower_c; }
+  bool contains(double value) const noexcept {
+    return value >= lower_c && value <= upper_c;
+  }
+};
+
+/// Split-conformal wrapper around a trained StableTemperaturePredictor.
+class ConformalPredictor {
+ public:
+  /// Calibrates on labelled records the model was NOT trained on.
+  /// Throws DataError when `calibration` is empty.
+  ConformalPredictor(const StableTemperaturePredictor& predictor,
+                     const std::vector<Record>& calibration);
+
+  /// Interval at miscoverage level alpha in (0, 1); e.g. alpha = 0.1 for
+  /// 90% coverage. Throws ConfigError for alpha outside (0, 1).
+  PredictionInterval interval(const Record& record, double alpha) const;
+
+  /// The calibration quantile used for a given alpha (half-width of every
+  /// interval at that level).
+  double quantile_c(double alpha) const;
+
+  std::size_t calibration_size() const noexcept {
+    return abs_residuals_.size();
+  }
+
+ private:
+  const StableTemperaturePredictor& predictor_;
+  std::vector<double> abs_residuals_;  ///< sorted ascending
+};
+
+}  // namespace vmtherm::core

@@ -1,0 +1,64 @@
+#include "mgmt/autopilot.h"
+
+namespace vmtherm::mgmt {
+
+Autopilot::Autopilot(core::StableTemperaturePredictor predictor,
+                     AutopilotOptions options)
+    : predictor_(std::move(predictor)), options_(options) {
+  options_.validate();
+}
+
+std::size_t Autopilot::step(sim::Cluster& cluster, double env_c) {
+  if (cluster.time_s() - last_scan_s_ < options_.scan_interval_s) return 0;
+  last_scan_s_ = cluster.time_s();
+  if (actions_.size() >= options_.max_migrations_total) return 0;
+
+  // Snapshot the fleet's logical state.
+  std::vector<HostPlacement> fleet;
+  fleet.reserve(cluster.machine_count());
+  for (std::size_t h = 0; h < cluster.machine_count(); ++h) {
+    const auto& machine = cluster.machine(h);
+    HostPlacement host;
+    host.server = machine.spec();
+    host.fans = machine.active_fans();
+    for (const auto& vm : machine.vms()) {
+      host.vms.push_back(PlacedVm{vm.id(), vm.config()});
+    }
+    fleet.push_back(std::move(host));
+  }
+
+  PlannerOptions planner_options = options_.planner;
+  planner_options.env_temp_c = env_c;
+  const MigrationPlan plan =
+      plan_migrations(predictor_, fleet, planner_options);
+  last_predictions_ = plan.predicted_before_c;
+  if (plan.moves.empty()) return 0;
+
+  std::size_t started = 0;
+  for (const auto& move : plan.moves) {
+    if (actions_.size() >= options_.max_migrations_total) break;
+    // Skip anything already in flight (the planner cannot see transfers)
+    // or that moved since the snapshot.
+    if (cluster.is_migrating(move.vm_id)) continue;
+    if (cluster.host_of(move.vm_id) != move.from_host) continue;
+    // The plan may schedule chained moves whose preconditions (an earlier
+    // move completing) do not hold yet; the cluster enforces memory, so a
+    // temporarily infeasible move is simply dropped until the next scan.
+    try {
+      cluster.migrate(move.vm_id, move.to_host);
+    } catch (const ConfigError&) {
+      continue;  // destination filled up mid-plan; retry next scan
+    }
+    AutopilotAction action;
+    action.time_s = cluster.time_s();
+    action.vm_id = move.vm_id;
+    action.from_host = move.from_host;
+    action.to_host = move.to_host;
+    action.source_predicted_after_c = move.source_predicted_after_c;
+    actions_.push_back(std::move(action));
+    ++started;
+  }
+  return started;
+}
+
+}  // namespace vmtherm::mgmt

@@ -1,0 +1,75 @@
+// vmtherm/mgmt/autopilot.h
+//
+// Closed-loop thermal autopilot: the full proactive control loop running
+// against a live (simulated) cluster. Periodically, it predicts each
+// host's stable temperature under its *current* placement; when a host is
+// headed over the target, it asks the MigrationPlanner for relieving moves
+// and executes them as live migrations on the cluster — before the hotspot
+// materializes. This is the end state the paper's introduction argues
+// temperature prediction enables.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/stable_predictor.h"
+#include "mgmt/planner.h"
+#include "sim/cluster.h"
+
+namespace vmtherm::mgmt {
+
+/// Control-loop policy.
+struct AutopilotOptions {
+  double scan_interval_s = 60.0;  ///< how often to re-evaluate the fleet
+  PlannerOptions planner;         ///< target, headroom, per-scan move budget
+  std::size_t max_migrations_total = 16;  ///< lifetime budget
+
+  void validate() const {
+    detail::require(scan_interval_s > 0.0, "scan interval must be positive");
+    detail::require(max_migrations_total >= 1,
+                    "autopilot needs a migration budget");
+  }
+};
+
+/// One executed action (audit log).
+struct AutopilotAction {
+  double time_s = 0.0;
+  std::string vm_id;
+  std::size_t from_host = 0;
+  std::size_t to_host = 0;
+  double source_predicted_after_c = 0.0;
+};
+
+/// The controller. Owns a copy of the trained predictor; the caller owns
+/// the cluster and drives time (call step() after every cluster.step()).
+class Autopilot {
+ public:
+  Autopilot(core::StableTemperaturePredictor predictor,
+            AutopilotOptions options = {});
+
+  /// Evaluates the fleet if a scan is due and executes any planned
+  /// migrations (skipping VMs already in flight). `env_c` is the room
+  /// temperature to predict against (typically the cluster's current or
+  /// nominal ambient). Returns the number of migrations started.
+  std::size_t step(sim::Cluster& cluster, double env_c);
+
+  const std::vector<AutopilotAction>& actions() const noexcept {
+    return actions_;
+  }
+  std::size_t migrations_started() const noexcept { return actions_.size(); }
+
+  /// Most recent per-host stable predictions (empty before the first scan).
+  const std::vector<double>& last_predictions() const noexcept {
+    return last_predictions_;
+  }
+
+ private:
+  core::StableTemperaturePredictor predictor_;
+  AutopilotOptions options_;
+  double last_scan_s_ = -1e300;
+  std::vector<AutopilotAction> actions_;
+  std::vector<double> last_predictions_;
+};
+
+}  // namespace vmtherm::mgmt

@@ -1,0 +1,73 @@
+#include "mgmt/cooling.h"
+
+#include <algorithm>
+
+namespace vmtherm::mgmt {
+
+double CoolingModel::cop(double supply_c) noexcept {
+  return 0.0068 * supply_c * supply_c + 0.0008 * supply_c + 0.458;
+}
+
+double CoolingModel::cooling_power_watts(double it_watts, double supply_c) {
+  detail::require(it_watts >= 0.0, "it_watts must be >= 0");
+  const double c = cop(supply_c);
+  detail::require(c > 0.0, "cooling COP non-positive at this supply temp");
+  return it_watts / c;
+}
+
+double CoolingModel::saving_fraction(double from_c, double to_c) {
+  const double before = cooling_power_watts(1.0, from_c);
+  const double after = cooling_power_watts(1.0, to_c);
+  return (before - after) / before;
+}
+
+SetpointPlan plan_setpoint(const core::StableTemperaturePredictor& predictor,
+                           const std::vector<PlannedHost>& fleet,
+                           double baseline_supply_c, double max_supply_c,
+                           double cpu_limit_c, double safety_margin_c,
+                           double step_c) {
+  detail::require(!fleet.empty(), "setpoint planning needs hosts");
+  detail::require(max_supply_c >= baseline_supply_c,
+                  "max supply must be >= baseline supply");
+  detail::require(step_c > 0.0, "setpoint step must be positive");
+  detail::require(safety_margin_c >= 0.0, "safety margin must be >= 0");
+
+  const double budget_c = cpu_limit_c - safety_margin_c;
+
+  auto hottest_at = [&](double supply_c) {
+    double hottest = -1e30;
+    std::size_t who = 0;
+    for (std::size_t h = 0; h < fleet.size(); ++h) {
+      const double predicted = predictor.predict(
+          fleet[h].server, fleet[h].vms, fleet[h].fans, supply_c);
+      if (predicted > hottest) {
+        hottest = predicted;
+        who = h;
+      }
+    }
+    return std::pair<double, std::size_t>{hottest, who};
+  };
+
+  SetpointPlan plan;
+  plan.baseline_supply_c = baseline_supply_c;
+  plan.recommended_supply_c = baseline_supply_c;
+  auto [hottest, who] = hottest_at(baseline_supply_c);
+  plan.hottest_predicted_c = hottest;
+  plan.hottest_host = who;
+
+  // Walk the setpoint up while the hottest prediction stays within budget.
+  for (double supply = baseline_supply_c + step_c;
+       supply <= max_supply_c + 1e-9; supply += step_c) {
+    auto [h, w] = hottest_at(supply);
+    if (h > budget_c) break;
+    plan.recommended_supply_c = supply;
+    plan.hottest_predicted_c = h;
+    plan.hottest_host = w;
+  }
+
+  plan.cooling_saving_fraction = CoolingModel::saving_fraction(
+      baseline_supply_c, plan.recommended_supply_c);
+  return plan;
+}
+
+}  // namespace vmtherm::mgmt

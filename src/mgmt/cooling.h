@@ -1,0 +1,73 @@
+// vmtherm/mgmt/cooling.h
+//
+// Cooling-energy model and predictive setpoint planning. The paper's
+// motivation: cooling is ~half of datacenter energy, and temperature
+// prediction lets thermal management run the room warmer (higher CRAC
+// supply temperature -> better chiller COP) without risking hotspots.
+//
+// COP model: the widely used HP Labs water-chiller fit
+//   COP(T_supply) = 0.0068 T^2 + 0.0008 T + 0.458   (T in deg C)
+// (Moore et al., "Making Scheduling 'Cool'", USENIX ATC 2005), so
+// cooling_power = it_power / COP(T_supply).
+
+#pragma once
+
+#include <vector>
+
+#include "core/stable_predictor.h"
+
+namespace vmtherm::mgmt {
+
+/// Chiller efficiency model.
+class CoolingModel {
+ public:
+  /// Coefficient-of-performance at a CRAC supply temperature (> 0 over the
+  /// physically sensible 10-40 C range this library targets).
+  static double cop(double supply_c) noexcept;
+
+  /// Watts of cooling power needed to remove `it_watts` of heat at the
+  /// given supply temperature. Throws ConfigError for non-positive COP
+  /// (supply far below freezing).
+  static double cooling_power_watts(double it_watts, double supply_c);
+
+  /// Fractional cooling-energy saving from raising the supply temperature
+  /// `from_c` -> `to_c` at constant IT load (positive = saving).
+  static double saving_fraction(double from_c, double to_c);
+};
+
+/// A host whose placement is known to the planner.
+struct PlannedHost {
+  sim::ServerSpec server;
+  int fans = 4;
+  std::vector<sim::VmConfig> vms;
+  /// Estimated IT power draw of the host (for the cooling-energy account).
+  double it_watts = 250.0;
+};
+
+/// Result of predictive setpoint planning.
+struct SetpointPlan {
+  double baseline_supply_c = 0.0;
+  double recommended_supply_c = 0.0;
+  /// Predicted stable temperature of the hottest host at the recommended
+  /// setpoint.
+  double hottest_predicted_c = 0.0;
+  /// Index of that host.
+  std::size_t hottest_host = 0;
+  /// Fractional cooling-energy saving vs the baseline setpoint.
+  double cooling_saving_fraction = 0.0;
+};
+
+/// Finds the highest CRAC supply temperature (searched in `step_c`
+/// increments within [baseline_supply_c, max_supply_c]) such that every
+/// host's predicted stable CPU temperature stays at or below
+/// `cpu_limit_c - safety_margin_c`. This is the proactive decision the
+/// paper's prediction enables. Throws ConfigError on empty fleets or an
+/// inverted search range; returns the baseline if even it violates the
+/// limit (saving 0).
+SetpointPlan plan_setpoint(const core::StableTemperaturePredictor& predictor,
+                           const std::vector<PlannedHost>& fleet,
+                           double baseline_supply_c, double max_supply_c,
+                           double cpu_limit_c, double safety_margin_c = 2.0,
+                           double step_c = 0.5);
+
+}  // namespace vmtherm::mgmt

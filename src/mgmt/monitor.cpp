@@ -1,0 +1,106 @@
+#include "mgmt/monitor.h"
+
+#include <algorithm>
+
+namespace vmtherm::mgmt {
+
+ThermalMonitorService::ThermalMonitorService(
+    core::StableTemperaturePredictor predictor,
+    core::DynamicOptions dynamic_options)
+    : predictor_(std::move(predictor)), dynamic_options_(dynamic_options) {
+  dynamic_options_.validate();
+}
+
+void ThermalMonitorService::register_host(const std::string& host_id,
+                                          MonitoredConfig config, double t0,
+                                          double measured_c) {
+  detail::require(!host_id.empty(), "host id must be non-empty");
+  detail::require(hosts_.find(host_id) == hosts_.end(),
+                  "host already registered: " + host_id);
+  config.server.validate();
+
+  Host host{std::move(config),
+            core::DynamicTemperaturePredictor(dynamic_options_)};
+  const double psi = predictor_.predict(host.config.server, host.config.vms,
+                                        host.config.fans,
+                                        host.config.env_temp_c);
+  host.tracker.begin(t0, measured_c, psi);
+  hosts_.emplace(host_id, std::move(host));
+}
+
+void ThermalMonitorService::unregister_host(const std::string& host_id) {
+  const auto it = hosts_.find(host_id);
+  detail::require(it != hosts_.end(), "unknown host: " + host_id);
+  hosts_.erase(it);
+}
+
+bool ThermalMonitorService::has_host(const std::string& host_id) const noexcept {
+  return hosts_.find(host_id) != hosts_.end();
+}
+
+const ThermalMonitorService::Host& ThermalMonitorService::host(
+    const std::string& host_id) const {
+  const auto it = hosts_.find(host_id);
+  detail::require(it != hosts_.end(), "unknown host: " + host_id);
+  return it->second;
+}
+
+ThermalMonitorService::Host& ThermalMonitorService::host(
+    const std::string& host_id) {
+  const auto it = hosts_.find(host_id);
+  detail::require(it != hosts_.end(), "unknown host: " + host_id);
+  return it->second;
+}
+
+void ThermalMonitorService::observe(const std::string& host_id, double t,
+                                    double measured_c) {
+  host(host_id).tracker.observe(t, measured_c);
+}
+
+void ThermalMonitorService::update_config(const std::string& host_id,
+                                          MonitoredConfig config, double t,
+                                          double measured_c) {
+  Host& h = host(host_id);
+  config.server.validate();
+  h.config = std::move(config);
+  const double psi = predictor_.predict(h.config.server, h.config.vms,
+                                        h.config.fans, h.config.env_temp_c);
+  h.tracker.retarget(t, measured_c, psi);
+}
+
+const MonitoredConfig& ThermalMonitorService::config_of(
+    const std::string& host_id) const {
+  return host(host_id).config;
+}
+
+double ThermalMonitorService::forecast(const std::string& host_id,
+                                       double gap_s) const {
+  return host(host_id).tracker.predict_ahead(gap_s);
+}
+
+double ThermalMonitorService::stable_prediction(
+    const std::string& host_id) const {
+  const Host& h = host(host_id);
+  return predictor_.predict(h.config.server, h.config.vms, h.config.fans,
+                            h.config.env_temp_c);
+}
+
+std::vector<HotspotRisk> ThermalMonitorService::hotspot_risks(
+    double horizon_s, double threshold_c) const {
+  std::vector<HotspotRisk> risks;
+  risks.reserve(hosts_.size());
+  for (const auto& [id, h] : hosts_) {
+    HotspotRisk risk;
+    risk.host_id = id;
+    risk.forecast_c = h.tracker.predict_ahead(horizon_s);
+    risk.at_risk = risk.forecast_c >= threshold_c;
+    risks.push_back(std::move(risk));
+  }
+  std::sort(risks.begin(), risks.end(),
+            [](const HotspotRisk& a, const HotspotRisk& b) {
+              return a.forecast_c > b.forecast_c;
+            });
+  return risks;
+}
+
+}  // namespace vmtherm::mgmt

@@ -1,0 +1,127 @@
+#include "mgmt/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace vmtherm::mgmt {
+
+double HostPlacement::used_memory_gb() const noexcept {
+  double total = 0.0;
+  for (const auto& vm : vms) total += vm.config.memory_gb;
+  return total;
+}
+
+bool HostPlacement::fits(const sim::VmConfig& vm) const noexcept {
+  return used_memory_gb() + vm.memory_gb <= server.memory_gb;
+}
+
+std::vector<sim::VmConfig> HostPlacement::configs() const {
+  std::vector<sim::VmConfig> out;
+  out.reserve(vms.size());
+  for (const auto& vm : vms) out.push_back(vm.config);
+  return out;
+}
+
+namespace {
+
+double predict_host(const core::StableTemperaturePredictor& predictor,
+                    const HostPlacement& host, double env_c) {
+  return predictor.predict(host.server, host.configs(), host.fans, env_c);
+}
+
+}  // namespace
+
+MigrationPlan plan_migrations(const core::StableTemperaturePredictor& predictor,
+                              std::vector<HostPlacement> fleet,
+                              const PlannerOptions& options) {
+  detail::require(!fleet.empty(), "migration planning needs hosts");
+  detail::require(options.max_moves > 0, "max_moves must be positive");
+
+  MigrationPlan plan;
+  for (const auto& host : fleet) {
+    plan.predicted_before_c.push_back(
+        predict_host(predictor, host, options.env_temp_c));
+  }
+
+  std::vector<double> current = plan.predicted_before_c;
+
+  while (plan.moves.size() < options.max_moves) {
+    // Hottest host over target.
+    std::size_t hot = 0;
+    double hottest = -std::numeric_limits<double>::infinity();
+    for (std::size_t h = 0; h < fleet.size(); ++h) {
+      if (current[h] > hottest) {
+        hottest = current[h];
+        hot = h;
+      }
+    }
+    if (hottest <= options.target_c) break;  // fleet is healthy
+    if (fleet[hot].vms.empty()) break;       // nothing to move
+
+    // Best (vm, destination): maximize the source's cooling while keeping
+    // the destination below target - headroom.
+    struct Candidate {
+      std::size_t vm_index = 0;
+      std::size_t dest = 0;
+      double source_after = 0.0;
+      double dest_after = 0.0;
+      bool valid = false;
+    };
+    Candidate best;
+    double best_source_after = std::numeric_limits<double>::infinity();
+
+    for (std::size_t v = 0; v < fleet[hot].vms.size(); ++v) {
+      // Source prediction without this VM.
+      HostPlacement source_without = fleet[hot];
+      source_without.vms.erase(source_without.vms.begin() +
+                               static_cast<long>(v));
+      const double source_after =
+          predict_host(predictor, source_without, options.env_temp_c);
+
+      for (std::size_t d = 0; d < fleet.size(); ++d) {
+        if (d == hot) continue;
+        if (!fleet[d].fits(fleet[hot].vms[v].config)) continue;
+        HostPlacement dest_with = fleet[d];
+        dest_with.vms.push_back(fleet[hot].vms[v]);
+        const double dest_after =
+            predict_host(predictor, dest_with, options.env_temp_c);
+        if (dest_after > options.target_c - options.dest_headroom_c) continue;
+
+        // Prefer the move that cools the source the most; among equals the
+        // coolest destination.
+        if (source_after < best_source_after - 1e-9 ||
+            (std::abs(source_after - best_source_after) <= 1e-9 &&
+             best.valid && dest_after < best.dest_after)) {
+          best_source_after = source_after;
+          best = Candidate{v, d, source_after, dest_after, true};
+        }
+      }
+    }
+
+    if (!best.valid) break;  // no feasible relieving move
+
+    MigrationMove move;
+    move.vm_id = fleet[hot].vms[best.vm_index].id;
+    move.from_host = hot;
+    move.to_host = best.dest;
+    move.source_predicted_after_c = best.source_after;
+    move.dest_predicted_after_c = best.dest_after;
+    plan.moves.push_back(move);
+
+    // Apply to the working copy.
+    fleet[best.dest].vms.push_back(fleet[hot].vms[best.vm_index]);
+    fleet[hot].vms.erase(fleet[hot].vms.begin() +
+                         static_cast<long>(best.vm_index));
+    current[hot] = best.source_after;
+    current[best.dest] = best.dest_after;
+  }
+
+  plan.predicted_after_c = current;
+  plan.target_met = true;
+  for (double temp : current) {
+    if (temp > options.target_c) plan.target_met = false;
+  }
+  return plan;
+}
+
+}  // namespace vmtherm::mgmt

@@ -1,0 +1,71 @@
+// vmtherm/mgmt/planner.h
+//
+// Predictive migration planning: given the fleet's current placements and
+// the stable-temperature predictor, compute a small set of VM migrations
+// that brings every host's *predicted* stable temperature under a target —
+// hotspot mitigation before the hotspot exists, which is exactly the
+// proactive thermal management the paper motivates.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/stable_predictor.h"
+
+namespace vmtherm::mgmt {
+
+/// A named VM as the planner sees it.
+struct PlacedVm {
+  std::string id;
+  sim::VmConfig config;
+};
+
+/// A host and its resident VMs.
+struct HostPlacement {
+  sim::ServerSpec server;
+  int fans = 4;
+  std::vector<PlacedVm> vms;
+
+  double used_memory_gb() const noexcept;
+  bool fits(const sim::VmConfig& vm) const noexcept;
+  std::vector<sim::VmConfig> configs() const;
+};
+
+/// One recommended move.
+struct MigrationMove {
+  std::string vm_id;
+  std::size_t from_host = 0;
+  std::size_t to_host = 0;
+  double source_predicted_after_c = 0.0;
+  double dest_predicted_after_c = 0.0;
+};
+
+/// Plan output: the moves plus per-host predictions before/after.
+struct MigrationPlan {
+  std::vector<MigrationMove> moves;
+  std::vector<double> predicted_before_c;
+  std::vector<double> predicted_after_c;
+  bool target_met = false;  ///< all hosts under target after the plan
+};
+
+/// Planner options.
+struct PlannerOptions {
+  double target_c = 70.0;       ///< per-host predicted ceiling
+  double env_temp_c = 23.0;     ///< room temperature used for predictions
+  std::size_t max_moves = 8;    ///< plan size budget
+  /// A destination must stay at least this far below target after
+  /// receiving a VM (hysteresis so the plan does not create new hotspots).
+  double dest_headroom_c = 2.0;
+};
+
+/// Greedy hotspot-relief planner. Each iteration takes the hottest
+/// over-target host and moves the VM whose relocation yields the largest
+/// reduction of that host's predicted temperature, to the feasible
+/// destination that stays coolest. Deterministic; ties break toward lower
+/// host/VM indices. Throws ConfigError on an empty fleet.
+MigrationPlan plan_migrations(const core::StableTemperaturePredictor& predictor,
+                              std::vector<HostPlacement> fleet,
+                              const PlannerOptions& options = {});
+
+}  // namespace vmtherm::mgmt

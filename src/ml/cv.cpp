@@ -1,0 +1,46 @@
+#include "ml/cv.h"
+
+namespace vmtherm::ml {
+
+std::vector<FoldIndices> make_folds(std::size_t n, std::size_t folds,
+                                    Rng& rng) {
+  detail::require_data(folds >= 2, "cross-validation needs >= 2 folds");
+  detail::require_data(n >= folds,
+                       "cross-validation needs at least one sample per fold");
+  const auto perm = rng.permutation(n);
+
+  std::vector<FoldIndices> out(folds);
+  // Assign shuffled samples round-robin so fold sizes differ by at most 1.
+  std::vector<std::size_t> fold_of(n);
+  for (std::size_t i = 0; i < n; ++i) fold_of[perm[i]] = i % folds;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < folds; ++f) {
+      if (fold_of[i] == f) out[f].validation.push_back(i);
+      else out[f].train.push_back(i);
+    }
+  }
+  return out;
+}
+
+double cross_validated_mse(const Dataset& data, std::size_t folds, Rng& rng,
+                           const FitPredictFn& fit_predict) {
+  const auto fold_sets = make_folds(data.size(), folds, rng);
+  double squared_error = 0.0;
+  std::size_t count = 0;
+  for (const auto& f : fold_sets) {
+    const Dataset train = data.subset(f.train);
+    const Dataset validation = data.subset(f.validation);
+    const std::vector<double> pred = fit_predict(train, validation);
+    detail::require_data(pred.size() == validation.size(),
+                         "cv fit_predict returned wrong prediction count");
+    for (std::size_t i = 0; i < validation.size(); ++i) {
+      const double e = pred[i] - validation[i].y;
+      squared_error += e * e;
+    }
+    count += validation.size();
+  }
+  return squared_error / static_cast<double>(count);
+}
+
+}  // namespace vmtherm::ml

@@ -1,0 +1,37 @@
+// vmtherm/ml/cv.h
+//
+// k-fold cross-validation — the validation procedure easygrid runs inside
+// its parameter search (the paper uses 10-fold).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace vmtherm::ml {
+
+/// Index sets for k-fold CV: fold f is the validation set, the rest train.
+struct FoldIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> validation;
+};
+
+/// Builds k folds over n samples after a seeded shuffle. Every sample
+/// appears in exactly one validation fold. Throws DataError when
+/// n < folds or folds < 2.
+std::vector<FoldIndices> make_folds(std::size_t n, std::size_t folds,
+                                    Rng& rng);
+
+/// A model-under-validation: fit on train, return predictions on the
+/// validation features.
+using FitPredictFn = std::function<std::vector<double>(
+    const Dataset& train, const Dataset& validation)>;
+
+/// Runs k-fold CV and returns the MSE averaged over folds (each fold's MSE
+/// weighted by its validation size, i.e. pooled squared error).
+double cross_validated_mse(const Dataset& data, std::size_t folds, Rng& rng,
+                           const FitPredictFn& fit_predict);
+
+}  // namespace vmtherm::ml

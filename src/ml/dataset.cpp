@@ -1,0 +1,63 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+
+namespace vmtherm::ml {
+
+Dataset::Dataset(std::vector<Sample> samples) {
+  for (auto& s : samples) add(std::move(s));
+}
+
+void Dataset::add(Sample sample) {
+  if (samples_.empty()) {
+    dim_ = sample.x.size();
+  } else {
+    detail::require_data(sample.x.size() == dim_,
+                         "sample feature dimension mismatch");
+  }
+  samples_.push_back(std::move(sample));
+}
+
+std::vector<double> Dataset::targets() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.y);
+  return out;
+}
+
+Dataset Dataset::shuffled(Rng& rng) const {
+  const auto perm = rng.permutation(samples_.size());
+  Dataset out;
+  for (std::size_t i : perm) out.add(samples_[i]);
+  return out;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  for (std::size_t i : indices) {
+    detail::require_data(i < samples_.size(), "subset index out of range");
+    out.add(samples_[i]);
+  }
+  return out;
+}
+
+SplitResult train_test_split(const Dataset& data, double train_fraction,
+                             Rng& rng) {
+  detail::require_data(data.size() >= 2,
+                       "train_test_split needs at least two samples");
+  detail::require(train_fraction > 0.0 && train_fraction < 1.0,
+                  "train_fraction must be in (0, 1)");
+  Dataset shuffled = data.shuffled(rng);
+  auto n_train = static_cast<std::size_t>(
+      static_cast<double>(data.size()) * train_fraction);
+  n_train = std::clamp<std::size_t>(n_train, 1, data.size() - 1);
+
+  SplitResult result;
+  for (std::size_t i = 0; i < shuffled.size(); ++i) {
+    if (i < n_train) result.train.add(shuffled[i]);
+    else result.test.add(shuffled[i]);
+  }
+  return result;
+}
+
+}  // namespace vmtherm::ml

@@ -1,0 +1,70 @@
+// vmtherm/ml/dataset.h
+//
+// Dataset container for regression: dense feature vectors with scalar
+// targets, plus split/shuffle utilities.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace vmtherm::ml {
+
+/// One labelled example.
+struct Sample {
+  std::vector<double> x;
+  double y = 0.0;
+};
+
+/// An ordered collection of samples with a consistent feature dimension.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Builds from samples; throws DataError if feature dimensions are
+  /// inconsistent.
+  explicit Dataset(std::vector<Sample> samples);
+
+  void add(Sample sample);
+
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Feature dimension (0 for an empty dataset).
+  std::size_t dim() const noexcept { return dim_; }
+
+  const Sample& operator[](std::size_t i) const noexcept {
+    return samples_[i];
+  }
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  /// All targets, in order.
+  std::vector<double> targets() const;
+
+  /// Returns a dataset with the same samples in permuted order.
+  Dataset shuffled(Rng& rng) const;
+
+  /// Subset by indices (indices may repeat; out-of-range throws DataError).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+ private:
+  std::vector<Sample> samples_;
+  std::size_t dim_ = 0;
+};
+
+/// Train/test split result.
+struct SplitResult {
+  Dataset train;
+  Dataset test;
+};
+
+/// Shuffles then splits with `train_fraction` in (0, 1); both parts are
+/// non-empty for datasets of size >= 2 (throws DataError otherwise).
+SplitResult train_test_split(const Dataset& data, double train_fraction,
+                             Rng& rng);
+
+}  // namespace vmtherm::ml

@@ -1,0 +1,219 @@
+#include "ml/forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace vmtherm::ml {
+
+RandomForest RandomForest::train(const Dataset& data,
+                                 const ForestParams& params) {
+  params.validate();
+  detail::require_data(!data.empty(), "forest training set is empty");
+
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  Rng rng(params.seed);
+
+  auto leaf_value = [&](const std::vector<std::size_t>& idx) {
+    double sum = 0.0;
+    for (std::size_t i : idx) sum += data[i].y;
+    return sum / static_cast<double>(idx.size());
+  };
+
+  // Builds one tree; returns node storage.
+  auto build_tree = [&](Rng tree_rng) {
+    Tree tree;
+
+    // Bootstrap sample (or the full index set).
+    std::vector<std::size_t> root_idx;
+    root_idx.reserve(n);
+    if (params.bootstrap) {
+      for (std::size_t i = 0; i < n; ++i) {
+        root_idx.push_back(tree_rng.next_u64() % n);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) root_idx.push_back(i);
+    }
+
+    const auto features_per_split = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(
+               params.feature_fraction * static_cast<double>(d))));
+
+    // Iterative recursion via explicit stack of (node index, indices, depth).
+    struct Work {
+      int node;
+      std::vector<std::size_t> idx;
+      std::size_t depth;
+    };
+    std::vector<Work> stack;
+    tree.push_back(Node{});
+    stack.push_back({0, std::move(root_idx), 0});
+
+    while (!stack.empty()) {
+      Work work = std::move(stack.back());
+      stack.pop_back();
+      Node& placeholder = tree[static_cast<std::size_t>(work.node)];
+
+      const bool must_leaf =
+          work.depth >= params.max_depth ||
+          work.idx.size() < 2 * params.min_samples_leaf;
+
+      // Also leaf when the target is constant on this subset.
+      bool constant = true;
+      for (std::size_t i = 1; i < work.idx.size(); ++i) {
+        if (data[work.idx[i]].y != data[work.idx[0]].y) {
+          constant = false;
+          break;
+        }
+      }
+
+      if (must_leaf || constant) {
+        placeholder.feature = -1;
+        placeholder.value = leaf_value(work.idx);
+        continue;
+      }
+
+      // Candidate features for this split.
+      std::vector<std::size_t> features(d);
+      std::iota(features.begin(), features.end(), 0);
+      for (std::size_t i = 0; i < features_per_split && i + 1 < d; ++i) {
+        const std::size_t j =
+            i + tree_rng.next_u64() % (d - i);
+        std::swap(features[i], features[j]);
+      }
+      features.resize(features_per_split);
+
+      // Best split: minimize total SSE of the two children. For each
+      // candidate feature, sort the subset by that feature and scan with
+      // prefix sums.
+      double best_sse = std::numeric_limits<double>::infinity();
+      int best_feature = -1;
+      double best_threshold = 0.0;
+
+      std::vector<std::size_t> sorted = work.idx;
+      for (std::size_t f : features) {
+        std::sort(sorted.begin(), sorted.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    return data[a].x[f] < data[b].x[f];
+                  });
+        double left_sum = 0.0;
+        double left_sq = 0.0;
+        double right_sum = 0.0;
+        double right_sq = 0.0;
+        for (std::size_t i : sorted) {
+          right_sum += data[i].y;
+          right_sq += data[i].y * data[i].y;
+        }
+        const auto m = sorted.size();
+        for (std::size_t k = 0; k + 1 < m; ++k) {
+          const double y = data[sorted[k]].y;
+          left_sum += y;
+          left_sq += y * y;
+          right_sum -= y;
+          right_sq -= y * y;
+          const std::size_t nl = k + 1;
+          const std::size_t nr = m - nl;
+          if (nl < params.min_samples_leaf || nr < params.min_samples_leaf) {
+            continue;
+          }
+          const double xa = data[sorted[k]].x[f];
+          const double xb = data[sorted[k + 1]].x[f];
+          if (xa == xb) continue;  // cannot split between equal values
+          const double sse =
+              (left_sq - left_sum * left_sum / static_cast<double>(nl)) +
+              (right_sq - right_sum * right_sum / static_cast<double>(nr));
+          if (sse < best_sse) {
+            best_sse = sse;
+            best_feature = static_cast<int>(f);
+            best_threshold = 0.5 * (xa + xb);
+          }
+        }
+      }
+
+      if (best_feature < 0) {
+        placeholder.feature = -1;
+        placeholder.value = leaf_value(work.idx);
+        continue;
+      }
+
+      std::vector<std::size_t> left_idx;
+      std::vector<std::size_t> right_idx;
+      for (std::size_t i : work.idx) {
+        if (data[i].x[static_cast<std::size_t>(best_feature)] <=
+            best_threshold) {
+          left_idx.push_back(i);
+        } else {
+          right_idx.push_back(i);
+        }
+      }
+      // Defensive: a degenerate partition becomes a leaf.
+      if (left_idx.empty() || right_idx.empty()) {
+        placeholder.feature = -1;
+        placeholder.value = leaf_value(work.idx);
+        continue;
+      }
+
+      const int left_node = static_cast<int>(tree.size());
+      tree.push_back(Node{});
+      const int right_node = static_cast<int>(tree.size());
+      tree.push_back(Node{});
+      // `placeholder` may dangle after push_back: reindex.
+      Node& me = tree[static_cast<std::size_t>(work.node)];
+      me.feature = best_feature;
+      me.threshold = best_threshold;
+      me.left = left_node;
+      me.right = right_node;
+
+      stack.push_back({left_node, std::move(left_idx), work.depth + 1});
+      stack.push_back({right_node, std::move(right_idx), work.depth + 1});
+    }
+    return tree;
+  };
+
+  std::vector<Tree> trees;
+  trees.reserve(params.n_trees);
+  for (std::size_t t = 0; t < params.n_trees; ++t) {
+    trees.push_back(build_tree(rng.fork(t)));
+  }
+  return RandomForest(std::move(trees));
+}
+
+RandomForest::RandomForest(std::vector<Tree> trees)
+    : trees_(std::move(trees)) {}
+
+double RandomForest::predict_tree(const Tree& tree,
+                                  std::span<const double> x) {
+  std::size_t node = 0;
+  while (tree[node].feature >= 0) {
+    const auto f = static_cast<std::size_t>(tree[node].feature);
+    node = static_cast<std::size_t>(
+        x[f] <= tree[node].threshold ? tree[node].left : tree[node].right);
+  }
+  return tree[node].value;
+}
+
+double RandomForest::predict(std::span<const double> x) const {
+  detail::require_data(!trees_.empty(), "forest has no trees");
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += predict_tree(tree, x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (const auto& s : data.samples()) out.push_back(predict(s.x));
+  return out;
+}
+
+std::size_t RandomForest::node_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& tree : trees_) total += tree.size();
+  return total;
+}
+
+}  // namespace vmtherm::ml

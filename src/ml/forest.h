@@ -1,0 +1,70 @@
+// vmtherm/ml/forest.h
+//
+// Random-forest regression: bootstrap-aggregated CART trees with per-split
+// feature subsampling. A stronger generic baseline than linreg/kNN for the
+// model-selection ablation — if the paper's SVR only won because the
+// competition was weak, this is where it would show.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace vmtherm::ml {
+
+/// Forest hyper-parameters.
+struct ForestParams {
+  std::size_t n_trees = 100;
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  /// Fraction of features considered at each split (0 < f <= 1).
+  double feature_fraction = 0.5;
+  bool bootstrap = true;
+  std::uint64_t seed = 1;
+
+  void validate() const {
+    detail::require(n_trees >= 1, "forest needs >= 1 tree");
+    detail::require(max_depth >= 1, "forest max_depth >= 1");
+    detail::require(min_samples_leaf >= 1, "forest min_samples_leaf >= 1");
+    detail::require(feature_fraction > 0.0 && feature_fraction <= 1.0,
+                    "forest feature_fraction in (0, 1]");
+  }
+};
+
+/// A trained regression forest. Deterministic given (data order, params).
+class RandomForest {
+ public:
+  /// Trains on `data`; throws DataError on empty input.
+  static RandomForest train(const Dataset& data, const ForestParams& params);
+
+  double predict(std::span<const double> x) const;
+  std::vector<double> predict(const Dataset& data) const;
+
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+
+  /// Total node count over all trees (size/diagnostics).
+  std::size_t node_count() const noexcept;
+
+ private:
+  struct Node {
+    // Leaf when feature < 0.
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;  ///< leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+  using Tree = std::vector<Node>;
+
+  explicit RandomForest(std::vector<Tree> trees);
+
+  static double predict_tree(const Tree& tree, std::span<const double> x);
+
+  std::vector<Tree> trees_;
+};
+
+}  // namespace vmtherm::ml

@@ -1,0 +1,55 @@
+#include "ml/grid.h"
+
+#include <limits>
+
+#include "ml/cv.h"
+
+namespace vmtherm::ml {
+
+GridSearchResult grid_search_svr(const Dataset& data, const GridSpec& spec) {
+  spec.validate();
+  detail::require_data(data.size() >= spec.folds,
+                       "grid search needs at least `folds` samples");
+
+  // One shared fold assignment: paired comparisons across grid points.
+  Rng fold_rng(spec.seed);
+  const auto folds = make_folds(data.size(), spec.folds, fold_rng);
+
+  GridSearchResult result;
+  result.best_cv_mse = std::numeric_limits<double>::infinity();
+
+  for (double c : spec.c_values) {
+    for (double gamma : spec.gamma_values) {
+      for (double eps : spec.epsilon_values) {
+        SvrParams params;
+        params.kernel.kind = spec.kernel;
+        params.kernel.gamma = gamma;
+        params.c = c;
+        params.epsilon = eps;
+
+        double squared_error = 0.0;
+        std::size_t count = 0;
+        for (const auto& f : folds) {
+          const Dataset train = data.subset(f.train);
+          const Dataset validation = data.subset(f.validation);
+          const SvrModel model = SvrModel::train(train, params);
+          for (const auto& s : validation.samples()) {
+            const double e = model.predict(s.x) - s.y;
+            squared_error += e * e;
+          }
+          count += validation.size();
+        }
+        const double cv_mse = squared_error / static_cast<double>(count);
+
+        result.evaluated.push_back(GridPoint{params, cv_mse});
+        if (cv_mse < result.best_cv_mse) {
+          result.best_cv_mse = cv_mse;
+          result.best_params = params;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vmtherm::ml

@@ -1,0 +1,57 @@
+// vmtherm/ml/grid.h
+//
+// Grid search over SVR hyper-parameters with k-fold cross-validation — the
+// functional equivalent of `easygrid`, the tool the paper uses to select
+// (C, gamma) for its LIBSVM model.
+
+#pragma once
+
+#include <vector>
+
+#include "ml/svr.h"
+
+namespace vmtherm::ml {
+
+/// Search space. Defaults follow the classic LIBSVM grid recommendation
+/// (log2-spaced C and gamma) trimmed to ranges that matter at this
+/// dataset's scale.
+struct GridSpec {
+  std::vector<double> c_values = {0.5, 2.0, 8.0, 32.0, 128.0, 512.0, 2048.0};
+  std::vector<double> gamma_values = {1.0 / 128, 1.0 / 32, 1.0 / 8,
+                                      0.5, 2.0};
+  std::vector<double> epsilon_values = {0.05, 0.2};
+  KernelKind kernel = KernelKind::kRbf;
+  std::size_t folds = 10;
+  std::uint64_t seed = 42;  ///< fold-assignment seed
+
+  void validate() const {
+    detail::require(!c_values.empty(), "grid needs C values");
+    detail::require(!gamma_values.empty(), "grid needs gamma values");
+    detail::require(!epsilon_values.empty(), "grid needs epsilon values");
+    detail::require(folds >= 2, "grid needs >= 2 folds");
+  }
+};
+
+/// One evaluated grid point.
+struct GridPoint {
+  SvrParams params;
+  double cv_mse = 0.0;
+};
+
+/// Search outcome: the winning parameters plus the full sweep (for
+/// reporting / ablation plots).
+struct GridSearchResult {
+  SvrParams best_params;
+  double best_cv_mse = 0.0;
+  std::vector<GridPoint> evaluated;
+};
+
+/// Exhaustive search: trains folds x |C| x |gamma| x |epsilon| SVRs on
+/// `data` (which should already be scaled) and returns the point with the
+/// lowest cross-validated MSE. Deterministic: ties break toward the
+/// earlier grid point in iteration order (C outer, gamma middle, epsilon
+/// inner). Fold assignment is shared across grid points so comparisons are
+/// paired.
+GridSearchResult grid_search_svr(const Dataset& data, const GridSpec& spec);
+
+}  // namespace vmtherm::ml

@@ -1,0 +1,56 @@
+#include "ml/kernel.h"
+
+#include <cmath>
+
+namespace vmtherm::ml {
+
+std::string kernel_kind_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kLinear: return "linear";
+    case KernelKind::kPolynomial: return "polynomial";
+    case KernelKind::kRbf: return "rbf";
+    case KernelKind::kSigmoid: return "sigmoid";
+  }
+  return "unknown";
+}
+
+KernelKind kernel_kind_from_name(const std::string& name) {
+  if (name == "linear") return KernelKind::kLinear;
+  if (name == "polynomial") return KernelKind::kPolynomial;
+  if (name == "rbf") return KernelKind::kRbf;
+  if (name == "sigmoid") return KernelKind::kSigmoid;
+  throw ConfigError("unknown kernel name: " + name);
+}
+
+double dot(std::span<const double> x, std::span<const double> z) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * z[i];
+  return acc;
+}
+
+double squared_distance(std::span<const double> x,
+                        std::span<const double> z) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - z[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double kernel_eval(const KernelParams& params, std::span<const double> x,
+                   std::span<const double> z) noexcept {
+  switch (params.kind) {
+    case KernelKind::kLinear:
+      return dot(x, z);
+    case KernelKind::kPolynomial:
+      return std::pow(params.gamma * dot(x, z) + params.coef0, params.degree);
+    case KernelKind::kRbf:
+      return std::exp(-params.gamma * squared_distance(x, z));
+    case KernelKind::kSigmoid:
+      return std::tanh(params.gamma * dot(x, z) + params.coef0);
+  }
+  return 0.0;
+}
+
+}  // namespace vmtherm::ml

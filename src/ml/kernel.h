@@ -1,0 +1,52 @@
+// vmtherm/ml/kernel.h
+//
+// Kernel functions for the SVR. The paper uses LIBSVM's RBF kernel; the
+// other standard kernels are provided for the model-selection ablation.
+
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "util/error.h"
+
+namespace vmtherm::ml {
+
+enum class KernelKind {
+  kLinear,      ///< x . z
+  kPolynomial,  ///< (gamma * x.z + coef0)^degree
+  kRbf,         ///< exp(-gamma * |x - z|^2)
+  kSigmoid,     ///< tanh(gamma * x.z + coef0)
+};
+
+std::string kernel_kind_name(KernelKind kind);
+KernelKind kernel_kind_from_name(const std::string& name);
+
+/// Kernel hyper-parameters (interpretation depends on kind; matches
+/// LIBSVM's -g/-d/-r flags).
+struct KernelParams {
+  KernelKind kind = KernelKind::kRbf;
+  double gamma = 0.5;
+  int degree = 3;
+  double coef0 = 0.0;
+
+  void validate() const {
+    detail::require(gamma > 0.0 || kind == KernelKind::kLinear,
+                    "kernel gamma must be positive");
+    detail::require(degree >= 1, "kernel degree must be >= 1");
+  }
+};
+
+/// Evaluates k(x, z). Requires x.size() == z.size() (unchecked on the hot
+/// path; callers validate at the API boundary).
+double kernel_eval(const KernelParams& params, std::span<const double> x,
+                   std::span<const double> z) noexcept;
+
+/// Squared Euclidean distance (exposed for kNN and tests).
+double squared_distance(std::span<const double> x,
+                        std::span<const double> z) noexcept;
+
+/// Dot product.
+double dot(std::span<const double> x, std::span<const double> z) noexcept;
+
+}  // namespace vmtherm::ml

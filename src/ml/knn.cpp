@@ -1,0 +1,53 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/kernel.h"
+
+namespace vmtherm::ml {
+
+KnnRegressor::KnnRegressor(Dataset data, std::size_t k, bool distance_weighted)
+    : data_(std::move(data)),
+      k_(std::clamp<std::size_t>(k, 1, data_.empty() ? 1 : data_.size())),
+      distance_weighted_(distance_weighted) {
+  detail::require_data(!data_.empty(), "knn training set is empty");
+}
+
+double KnnRegressor::predict(std::span<const double> x) const {
+  detail::require_data(x.size() == data_.dim(),
+                       "knn predict dimension mismatch");
+  // Partial sort of (distance, index) pairs for the k nearest.
+  std::vector<std::pair<double, std::size_t>> dist(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    dist[i] = {squared_distance(data_[i].x, x), i};
+  }
+  const std::size_t k = std::min(k_, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+
+  if (!distance_weighted_) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += data_[dist[i].second].y;
+    return acc / static_cast<double>(k);
+  }
+
+  // Inverse-distance weights; an exact match dominates.
+  double wsum = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(dist[i].first) + 1e-9);
+    wsum += w;
+    acc += w * data_[dist[i].second].y;
+  }
+  return acc / wsum;
+}
+
+std::vector<double> KnnRegressor::predict(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (const auto& s : data.samples()) out.push_back(predict(s.x));
+  return out;
+}
+
+}  // namespace vmtherm::ml

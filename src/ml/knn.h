@@ -1,0 +1,34 @@
+// vmtherm/ml/knn.h
+//
+// k-nearest-neighbour regression — a nonparametric baseline. Brute-force
+// search is fine at the corpus sizes of this system (hundreds of records).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace vmtherm::ml {
+
+/// kNN regressor over Euclidean distance, with optional inverse-distance
+/// weighting of the neighbour targets.
+class KnnRegressor {
+ public:
+  /// Stores the training set. k is clamped to [1, data.size()].
+  /// Throws DataError on an empty training set.
+  KnnRegressor(Dataset data, std::size_t k, bool distance_weighted = true);
+
+  double predict(std::span<const double> x) const;
+  std::vector<double> predict(const Dataset& data) const;
+
+  std::size_t k() const noexcept { return k_; }
+
+ private:
+  Dataset data_;
+  std::size_t k_;
+  bool distance_weighted_;
+};
+
+}  // namespace vmtherm::ml

@@ -1,0 +1,68 @@
+#include "ml/linreg.h"
+
+#include "util/matrix.h"
+
+namespace vmtherm::ml {
+
+LinearRegression LinearRegression::fit(const Dataset& data, double lambda) {
+  detail::require_data(!data.empty(), "linreg training set is empty");
+  detail::require(lambda >= 0.0, "linreg lambda must be >= 0");
+
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  // Augment with an intercept column (unpenalized).
+  Matrix x(n, d + 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = data[i].x[j];
+    x(i, d) = 1.0;
+    y[i] = data[i].y;
+  }
+
+  const Matrix xt = x.transposed();
+  Matrix xtx = xt.multiply(x);
+  // Penalize weights but not the intercept.
+  for (std::size_t j = 0; j < d; ++j) xtx(j, j) += lambda;
+  // Tiny jitter on the full diagonal keeps the system SPD when features are
+  // collinear (e.g. one-hot shares summing to 1).
+  Matrix a = xtx.add_scaled_identity(1e-10);
+
+  std::vector<double> xty(d + 1, 0.0);
+  for (std::size_t j = 0; j <= d; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += x(i, j) * y[i];
+    xty[j] = acc;
+  }
+
+  std::vector<double> solution;
+  try {
+    solution = cholesky_solve(a, xty);
+  } catch (const NumericError&) {
+    solution = gaussian_solve(a, xty);
+  }
+
+  std::vector<double> weights(solution.begin(), solution.begin() +
+                                                    static_cast<long>(d));
+  return LinearRegression(std::move(weights), solution[d]);
+}
+
+LinearRegression::LinearRegression(std::vector<double> weights,
+                                   double intercept)
+    : weights_(std::move(weights)), intercept_(intercept) {}
+
+double LinearRegression::predict(std::span<const double> x) const {
+  detail::require_data(x.size() == weights_.size(),
+                       "linreg predict dimension mismatch");
+  double acc = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) acc += weights_[j] * x[j];
+  return acc;
+}
+
+std::vector<double> LinearRegression::predict(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (const auto& s : data.samples()) out.push_back(predict(s.x));
+  return out;
+}
+
+}  // namespace vmtherm::ml

@@ -1,0 +1,38 @@
+// vmtherm/ml/linreg.h
+//
+// Ridge / ordinary least squares linear regression — a closed-form baseline
+// against which the paper's SVR is compared, and the fitting engine of the
+// task-temperature baseline.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace vmtherm::ml {
+
+/// Linear model y = w . x + b fit by (regularized) normal equations.
+class LinearRegression {
+ public:
+  /// Fits on `data`; lambda >= 0 is the L2 penalty on w (not on b).
+  /// Throws DataError on empty data, NumericError if the system is
+  /// degenerate even after regularization.
+  static LinearRegression fit(const Dataset& data, double lambda = 1e-8);
+
+  /// Reconstructs from persisted parts.
+  LinearRegression(std::vector<double> weights, double intercept);
+
+  double predict(std::span<const double> x) const;
+  std::vector<double> predict(const Dataset& data) const;
+
+  const std::vector<double>& weights() const noexcept { return weights_; }
+  double intercept() const noexcept { return intercept_; }
+
+ private:
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace vmtherm::ml

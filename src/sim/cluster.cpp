@@ -1,0 +1,87 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+
+namespace vmtherm::sim {
+
+Cluster::Cluster(EnvironmentSpec env_spec, Rng rng)
+    : env_(env_spec, rng.fork(1)), rng_(rng) {}
+
+std::size_t Cluster::add_machine(ServerSpec spec, MachineOptions options) {
+  machines_.emplace_back(std::move(spec), options,
+                         rng_.fork(1000 + machines_.size()));
+  return machines_.size() - 1;
+}
+
+void Cluster::place_vm(std::size_t machine_idx, Vm vm) {
+  machines_.at(machine_idx).add_vm(std::move(vm));
+}
+
+std::size_t Cluster::host_of(const std::string& vm_id) const {
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    if (machines_[i].has_vm(vm_id)) return i;
+  }
+  throw ConfigError("vm not found in cluster: " + vm_id);
+}
+
+bool Cluster::is_migrating(const std::string& vm_id) const noexcept {
+  for (const auto& m : in_flight_) {
+    if (m.vm_id == vm_id) return true;
+  }
+  return false;
+}
+
+void Cluster::migrate(const std::string& vm_id, std::size_t to_machine) {
+  detail::require(to_machine < machines_.size(),
+                  "migration destination out of range");
+  for (const auto& m : in_flight_) {
+    detail::require(m.vm_id != vm_id, "vm already migrating: " + vm_id);
+  }
+  const std::size_t from = host_of(vm_id);
+  detail::require(from != to_machine, "migration to the same machine");
+
+  // Find the VM to size the transfer.
+  double vm_memory_gb = 0.0;
+  for (const auto& vm : machines_[from].vms()) {
+    if (vm.id() == vm_id) vm_memory_gb = vm.config().memory_gb;
+  }
+  detail::require(machines_[to_machine].free_memory_gb() >= vm_memory_gb,
+                  "migration destination lacks memory for " + vm_id);
+
+  // Transfer duration scales with VM memory (pre-copy transfer).
+  const double duration =
+      std::max(1.0, vm_memory_gb * 2.5 /* s per GB, matches MachineOptions */);
+
+  MigrationEvent ev;
+  ev.vm_id = vm_id;
+  ev.from_machine = from;
+  ev.to_machine = to_machine;
+  ev.start_s = time_s_;
+  ev.duration_s = duration;
+  in_flight_.push_back(ev);
+
+  machines_[from].begin_migration_overhead(duration);
+  machines_[to_machine].begin_migration_overhead(duration);
+}
+
+void Cluster::step(double dt) {
+  detail::require(dt > 0.0, "cluster step dt must be positive");
+  time_s_ += dt;
+  const double ambient = env_.step(dt);
+  for (auto& machine : machines_) machine.step(dt, ambient);
+
+  // Complete migrations whose transfer has finished: the VM switches hosts
+  // at the end of the pre-copy (stop-and-copy instant).
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (time_s_ >= it->start_s + it->duration_s) {
+      Vm vm = machines_[it->from_machine].remove_vm(it->vm_id);
+      machines_[it->to_machine].add_vm(std::move(vm));
+      completed_.push_back(*it);
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace vmtherm::sim

@@ -1,0 +1,79 @@
+// vmtherm/sim/cluster.h
+//
+// A small cluster of physical machines sharing a room environment, with a
+// live-migration engine. Exercises the dynamic scenarios the paper calls
+// out (VM migration changing a server's thermal input at run time).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/machine.h"
+
+namespace vmtherm::sim {
+
+/// A completed or in-flight migration.
+struct MigrationEvent {
+  std::string vm_id;
+  std::size_t from_machine = 0;
+  std::size_t to_machine = 0;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+/// Cluster of machines under one environment. Machines are indexed by
+/// position; the cluster owns them.
+class Cluster {
+ public:
+  Cluster(EnvironmentSpec env_spec, Rng rng);
+
+  /// Adds a machine built from the spec/options; returns its index.
+  std::size_t add_machine(ServerSpec spec, MachineOptions options);
+
+  std::size_t machine_count() const noexcept { return machines_.size(); }
+  PhysicalMachine& machine(std::size_t i) { return machines_.at(i); }
+  const PhysicalMachine& machine(std::size_t i) const {
+    return machines_.at(i);
+  }
+
+  double time_s() const noexcept { return time_s_; }
+  double ambient_c() const noexcept { return env_.current_c(); }
+
+  /// Places a fresh VM on machine `machine_idx`.
+  void place_vm(std::size_t machine_idx, Vm vm);
+
+  /// Starts a live migration of `vm_id` from its current host to
+  /// `to_machine`. The VM keeps running on the source until the transfer
+  /// completes (pre-copy model); both hosts pay CPU overhead during the
+  /// transfer. Throws ConfigError if the VM is not found, already
+  /// migrating, or the destination lacks memory.
+  void migrate(const std::string& vm_id, std::size_t to_machine);
+
+  /// Advances every machine and the environment by dt; completes any
+  /// migrations whose transfer finished during this step.
+  void step(double dt);
+
+  /// Index of the machine currently hosting `vm_id`; throws ConfigError if
+  /// not found.
+  std::size_t host_of(const std::string& vm_id) const;
+
+  /// Whether `vm_id` has a transfer in flight.
+  bool is_migrating(const std::string& vm_id) const noexcept;
+
+  /// Migrations completed so far (audit log for tests/examples).
+  const std::vector<MigrationEvent>& completed_migrations() const noexcept {
+    return completed_;
+  }
+
+ private:
+  Environment env_;
+  Rng rng_;
+  std::vector<PhysicalMachine> machines_;
+  std::vector<MigrationEvent> in_flight_;
+  std::vector<MigrationEvent> completed_;
+  double time_s_ = 0.0;
+};
+
+}  // namespace vmtherm::sim

@@ -1,0 +1,46 @@
+#include "sim/environment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace vmtherm::sim {
+
+Environment::Environment(const EnvironmentSpec& spec, Rng rng)
+    : spec_(spec), rng_(rng) {
+  spec_.validate();
+  current_ = schedule_at(0.0);
+}
+
+double Environment::schedule_at(double t) const noexcept {
+  switch (spec_.kind) {
+    case EnvScheduleKind::kConstant:
+      return spec_.base_c;
+    case EnvScheduleKind::kDrift: {
+      const double frac = std::clamp(t / spec_.duration_s, 0.0, 1.0);
+      return spec_.base_c + spec_.delta_c * frac;
+    }
+    case EnvScheduleKind::kDiurnal: {
+      const double angle = 2.0 * std::numbers::pi * t / spec_.period_s;
+      return spec_.base_c + spec_.amplitude_c * std::sin(angle);
+    }
+    case EnvScheduleKind::kStep:
+      return t >= spec_.step_time_s ? spec_.base_c + spec_.delta_c
+                                    : spec_.base_c;
+  }
+  return spec_.base_c;
+}
+
+double Environment::step(double dt) {
+  t_ += dt;
+  if (spec_.fluctuation_stddev_c > 0.0) {
+    // AR(1) with ~300 s correlation time: slow room-air wander.
+    const double rho = std::exp(-dt / 300.0);
+    fluct_ = rho * fluct_ + std::sqrt(std::max(0.0, 1.0 - rho * rho)) *
+                                rng_.normal(0.0, spec_.fluctuation_stddev_c);
+  }
+  current_ = schedule_at(t_) + fluct_;
+  return current_;
+}
+
+}  // namespace vmtherm::sim

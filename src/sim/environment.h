@@ -1,0 +1,74 @@
+// vmtherm/sim/environment.h
+//
+// Datacenter environment (CRAC / room) temperature — the δ_env input of
+// Eq. (2). The paper observes that environment temperature has a
+// non-negligible impact on CPU temperature, so scenarios vary it through a
+// handful of schedules.
+
+#pragma once
+
+#include <string>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace vmtherm::sim {
+
+/// Shape of the ambient-temperature trajectory over an experiment.
+enum class EnvScheduleKind {
+  kConstant,  ///< fixed supply temperature
+  kDrift,     ///< linear drift from base to base+delta over the run
+  kDiurnal,   ///< sinusoid around base with given amplitude/period
+  kStep,      ///< jumps from base to base+delta at step_time_s (CRAC event)
+};
+
+/// Parameters for the ambient schedule + small high-frequency fluctuation.
+struct EnvironmentSpec {
+  EnvScheduleKind kind = EnvScheduleKind::kConstant;
+  double base_c = 22.0;        ///< supply/base temperature
+  double delta_c = 0.0;        ///< drift or step magnitude
+  double amplitude_c = 0.0;    ///< diurnal amplitude
+  double period_s = 3600.0;    ///< diurnal period
+  double step_time_s = 0.0;    ///< when the step occurs
+  double duration_s = 1800.0;  ///< experiment duration (drift normalization)
+  double fluctuation_stddev_c = 0.10;  ///< AR(1) micro-fluctuation sigma
+
+  void validate() const {
+    detail::require(base_c > -20.0 && base_c < 60.0,
+                    "environment base temperature implausible");
+    detail::require(period_s > 0.0, "environment period must be positive");
+    detail::require(duration_s > 0.0, "environment duration must be positive");
+    detail::require(fluctuation_stddev_c >= 0.0,
+                    "environment fluctuation must be >= 0");
+  }
+};
+
+/// Stateful environment process: deterministic schedule + AR(1) fluctuation
+/// from a private RNG substream.
+class Environment {
+ public:
+  Environment(const EnvironmentSpec& spec, Rng rng);
+
+  /// Advances by dt seconds and returns the ambient temperature for the new
+  /// time.
+  double step(double dt);
+
+  /// Ambient temperature most recently produced (schedule value at t=0
+  /// before the first step()).
+  double current_c() const noexcept { return current_; }
+
+  /// The deterministic schedule value at absolute time t (no fluctuation) —
+  /// used by tests and by feature extraction of the "nominal" env.
+  double schedule_at(double t) const noexcept;
+
+  const EnvironmentSpec& spec() const noexcept { return spec_; }
+
+ private:
+  EnvironmentSpec spec_;
+  Rng rng_;
+  double t_ = 0.0;
+  double fluct_ = 0.0;
+  double current_;
+};
+
+}  // namespace vmtherm::sim

@@ -1,0 +1,182 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmtherm::sim {
+
+void ExperimentConfig::validate() const {
+  server.validate();
+  for (const auto& vm : vms) vm.validate();
+  environment.validate();
+  sensor.validate();
+  detail::require(active_fans >= 1 && active_fans <= server.fan_slots,
+                  "experiment active_fans out of range");
+  detail::require(duration_s > 0.0, "experiment duration must be positive");
+  detail::require(sample_interval_s > 0.0 && sample_interval_s <= duration_s,
+                  "sample interval must be in (0, duration]");
+  double mem = 0.0;
+  for (const auto& vm : vms) mem += vm.memory_gb;
+  detail::require(mem <= server.memory_gb,
+                  "experiment vm memory exceeds server memory");
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  config.validate();
+
+  Rng rng(config.seed);
+  EnvironmentSpec env_spec = config.environment;
+  env_spec.duration_s = config.duration_s;
+  Environment env(env_spec, rng.fork(101));
+
+  MachineOptions options;
+  options.sensor = config.sensor;
+  options.active_fans = config.active_fans;
+  options.initial_temp_c = config.initial_temp_c;
+  PhysicalMachine machine(config.server, options, rng.fork(102));
+
+  Rng vm_rng = rng.fork(103);
+  for (std::size_t i = 0; i < config.vms.size(); ++i) {
+    machine.add_vm(
+        Vm("vm-" + std::to_string(i), config.vms[i], vm_rng.fork(i)));
+  }
+
+  TemperatureTrace trace(config.sample_interval_s);
+
+  // Initial point: temperature before the experiment starts (phi(0)).
+  TracePoint p0;
+  p0.time_s = 0.0;
+  p0.cpu_temp_true_c = machine.thermal().die_temp_c();
+  p0.cpu_temp_sensed_c = p0.cpu_temp_true_c;  // cold reading, no load noise
+  p0.env_temp_c = env.current_c();
+  p0.power_watts = 0.0;
+  p0.utilization = 0.0;
+  p0.vm_count = static_cast<int>(machine.vm_count());
+  trace.push_back(p0);
+
+  const double dt = config.sample_interval_s;
+  const auto steps = static_cast<std::size_t>(
+      std::llround(config.duration_s / config.sample_interval_s));
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const double ambient = env.step(dt);
+    const MachineSample s = machine.step(dt, ambient);
+    TracePoint p;
+    p.time_s = s.time_s;
+    p.cpu_temp_true_c = s.cpu_temp_true_c;
+    p.cpu_temp_sensed_c = s.cpu_temp_sensed_c;
+    p.env_temp_c = ambient;
+    p.power_watts = s.power_watts;
+    p.utilization = s.utilization;
+    p.vm_count = s.vm_count;
+    trace.push_back(p);
+  }
+
+  return ExperimentResult{config, std::move(trace)};
+}
+
+void ScenarioRanges::validate() const {
+  detail::require(min_vms >= 0 && max_vms >= min_vms,
+                  "scenario vm range invalid");
+  detail::require(min_fans >= 1 && max_fans >= min_fans,
+                  "scenario fan range invalid");
+  detail::require(max_env_c >= min_env_c, "scenario env range invalid");
+  detail::require(!server_kinds.empty(), "scenario needs server kinds");
+  detail::require(!vm_vcpu_choices.empty(), "scenario needs vcpu choices");
+  detail::require(!vm_memory_choices_gb.empty(),
+                  "scenario needs memory choices");
+  detail::require(duration_s > 0.0 && sample_interval_s > 0.0,
+                  "scenario durations must be positive");
+  detail::require(dynamic_env_probability >= 0.0 &&
+                      dynamic_env_probability <= 1.0,
+                  "dynamic_env_probability must be in [0, 1]");
+}
+
+ScenarioSampler::ScenarioSampler(ScenarioRanges ranges, std::uint64_t seed)
+    : ranges_(std::move(ranges)), rng_(seed) {
+  ranges_.validate();
+}
+
+ExperimentConfig ScenarioSampler::next() {
+  ExperimentConfig config;
+  config.seed = rng_.next_u64();
+  ++counter_;
+
+  const auto kind_idx = static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<int>(ranges_.server_kinds.size()) - 1));
+  config.server = make_server_spec(ranges_.server_kinds[kind_idx]);
+
+  config.active_fans = std::clamp(
+      rng_.uniform_int(ranges_.min_fans, ranges_.max_fans), 1,
+      config.server.fan_slots);
+
+  // Environment: mostly constant supply temperature; occasionally dynamic.
+  config.environment.base_c = rng_.uniform(ranges_.min_env_c, ranges_.max_env_c);
+  if (rng_.bernoulli(ranges_.dynamic_env_probability)) {
+    // Magnitudes stay small (<= ~1 C): the schedule perturbs the run but the
+    // base temperature remains an honest delta_env feature for Eq. (2).
+    switch (rng_.uniform_int(0, 2)) {
+      case 0:
+        config.environment.kind = EnvScheduleKind::kDrift;
+        config.environment.delta_c = rng_.uniform(-1.0, 1.0);
+        break;
+      case 1:
+        config.environment.kind = EnvScheduleKind::kDiurnal;
+        config.environment.amplitude_c = rng_.uniform(0.3, 1.0);
+        config.environment.period_s = rng_.uniform(1200.0, 3600.0);
+        break;
+      default:
+        config.environment.kind = EnvScheduleKind::kStep;
+        config.environment.delta_c = rng_.uniform(-1.0, 1.0);
+        config.environment.step_time_s = rng_.uniform(
+            0.2 * ranges_.duration_s, 0.8 * ranges_.duration_s);
+        break;
+    }
+  }
+
+  // Machine starts thermally relaxed at (roughly) room temperature.
+  config.initial_temp_c = config.environment.base_c + rng_.uniform(0.0, 1.0);
+  config.duration_s = ranges_.duration_s;
+  config.sample_interval_s = ranges_.sample_interval_s;
+
+  // VM set: count then shapes, keeping within 90% of server memory and
+  // reserving the smallest choice for each VM yet to be drawn.
+  const int vm_count = rng_.uniform_int(ranges_.min_vms, ranges_.max_vms);
+  const double smallest_mem = *std::min_element(
+      ranges_.vm_memory_choices_gb.begin(), ranges_.vm_memory_choices_gb.end());
+  const double budget = 0.9 * config.server.memory_gb;
+  double used = 0.0;
+  for (int i = 0; i < vm_count; ++i) {
+    VmConfig vm;
+    const auto vcpu_idx = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<int>(ranges_.vm_vcpu_choices.size()) - 1));
+    vm.vcpus = ranges_.vm_vcpu_choices[vcpu_idx];
+
+    const double reserve = smallest_mem * static_cast<double>(vm_count - i - 1);
+    std::vector<double> eligible;
+    for (double m : ranges_.vm_memory_choices_gb) {
+      if (used + m + reserve <= budget) eligible.push_back(m);
+    }
+    vm.memory_gb = eligible.empty()
+                       ? smallest_mem
+                       : eligible[static_cast<std::size_t>(rng_.uniform_int(
+                             0, static_cast<int>(eligible.size()) - 1))];
+    used += vm.memory_gb;
+
+    const auto types = all_task_types();
+    vm.task = types[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(types.size()) - 1))];
+    config.vms.push_back(vm);
+  }
+
+  config.validate();
+  return config;
+}
+
+std::vector<ExperimentConfig> ScenarioSampler::sample(std::size_t n) {
+  std::vector<ExperimentConfig> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace vmtherm::sim

@@ -1,0 +1,83 @@
+// vmtherm/sim/experiment.h
+//
+// Experiment orchestration: configure a machine + VM set + environment, run
+// it for t_exp seconds sampling at a fixed interval, and return the
+// temperature trace. Also provides the randomized scenario sampler used to
+// build training/test corpora (the paper's "numerous experiments ...
+// altering running conditions").
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/machine.h"
+#include "sim/trace.h"
+
+namespace vmtherm::sim {
+
+/// Everything needed to reproduce one profiling experiment.
+struct ExperimentConfig {
+  ServerSpec server;
+  std::vector<VmConfig> vms;
+  EnvironmentSpec environment;
+  SensorSpec sensor;
+  int active_fans = 4;
+  double initial_temp_c = 22.0;  ///< thermal state at t=0
+  double duration_s = 1800.0;    ///< t_exp
+  double sample_interval_s = 5.0;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Output of run_experiment.
+struct ExperimentResult {
+  ExperimentConfig config;
+  TemperatureTrace trace;
+};
+
+/// Runs one experiment end-to-end. Deterministic given the config.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Parameter ranges for the randomized scenario sampler (defaults follow
+/// the paper's evaluation: 2-12 VMs, varying fans and room temperature).
+struct ScenarioRanges {
+  int min_vms = 2;
+  int max_vms = 12;
+  int min_fans = 1;
+  int max_fans = 6;  ///< clamped per sampled server's fan_slots
+  double min_env_c = 18.0;
+  double max_env_c = 30.0;
+  std::vector<std::string> server_kinds = {"small", "medium", "large"};
+  std::vector<int> vm_vcpu_choices = {1, 2, 4, 8};
+  std::vector<double> vm_memory_choices_gb = {2.0, 4.0, 8.0, 16.0};
+  double duration_s = 1800.0;
+  double sample_interval_s = 5.0;
+  /// Probability that a scenario uses a non-constant environment schedule.
+  double dynamic_env_probability = 0.25;
+
+  void validate() const;
+};
+
+/// Draws independent random experiment configurations. Deterministic given
+/// the seed; configuration i is independent of how many were drawn before
+/// it only through the shared stream (sample in order to reproduce).
+class ScenarioSampler {
+ public:
+  ScenarioSampler(ScenarioRanges ranges, std::uint64_t seed);
+
+  /// Samples the next scenario.
+  ExperimentConfig next();
+
+  /// Samples n scenarios.
+  std::vector<ExperimentConfig> sample(std::size_t n);
+
+ private:
+  ScenarioRanges ranges_;
+  Rng rng_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace vmtherm::sim

@@ -1,0 +1,119 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmtherm::sim {
+
+PhysicalMachine::PhysicalMachine(ServerSpec spec, MachineOptions options,
+                                 Rng rng)
+    : spec_(std::move(spec)),
+      options_(options),
+      thermal_(spec_.thermal, options.initial_temp_c),
+      sensor_(options.sensor, rng.fork(1)) {
+  spec_.validate();
+  detail::require(options_.active_fans >= 1 &&
+                      options_.active_fans <= spec_.fan_slots,
+                  "active_fans must be in [1, fan_slots]");
+  detail::require(options_.migration_cpu_overhead >= 0.0 &&
+                      options_.migration_cpu_overhead <= 1.0,
+                  "migration_cpu_overhead must be in [0, 1]");
+  detail::require(options_.migration_s_per_gb >= 0.0,
+                  "migration_s_per_gb must be >= 0");
+}
+
+void PhysicalMachine::set_active_fans(int fans) {
+  options_.active_fans = std::clamp(fans, 1, spec_.fan_slots);
+}
+
+void PhysicalMachine::add_vm(Vm vm) {
+  detail::require(!has_vm(vm.id()),
+                  "vm already resident on machine: " + vm.id());
+  detail::require(used_memory_gb() + vm.config().memory_gb <= spec_.memory_gb,
+                  "vm does not fit in machine memory: " + vm.id());
+  vms_.push_back(std::move(vm));
+}
+
+Vm PhysicalMachine::remove_vm(const std::string& vm_id) {
+  for (auto it = vms_.begin(); it != vms_.end(); ++it) {
+    if (it->id() == vm_id) {
+      Vm vm = std::move(*it);
+      vms_.erase(it);
+      return vm;
+    }
+  }
+  throw ConfigError("vm not resident on machine: " + vm_id);
+}
+
+void PhysicalMachine::begin_migration_overhead(double duration_s) {
+  migration_overhead_until_s_ =
+      std::max(migration_overhead_until_s_, time_s_ + duration_s);
+}
+
+bool PhysicalMachine::has_vm(const std::string& vm_id) const noexcept {
+  for (const auto& vm : vms_) {
+    if (vm.id() == vm_id) return true;
+  }
+  return false;
+}
+
+double PhysicalMachine::used_memory_gb() const noexcept {
+  double total = 0.0;
+  for (const auto& vm : vms_) total += vm.config().memory_gb;
+  return total;
+}
+
+int PhysicalMachine::total_vcpus() const noexcept {
+  int total = 0;
+  for (const auto& vm : vms_) total += vm.config().vcpus;
+  return total;
+}
+
+double PhysicalMachine::power_at(double utilization) const noexcept {
+  const auto& p = spec_.power;
+  double active_mem = 0.0;
+  for (const auto& vm : vms_) active_mem += vm.active_memory_gb();
+  const double cpu_term = (p.max_cpu_watts - p.idle_watts) *
+                          std::pow(std::clamp(utilization, 0.0, 1.0),
+                                   p.cpu_exponent);
+  return p.idle_watts + cpu_term + p.memory_watts_per_gb * active_mem;
+}
+
+MachineSample PhysicalMachine::step(double dt, double ambient_c) {
+  detail::require(dt > 0.0, "machine step dt must be positive");
+  time_s_ += dt;
+
+  // Aggregate CPU demand: each VM demands vcpus * util cores; the server can
+  // deliver at most physical_cores. Oversubscription saturates at 1.0.
+  double demanded_cores = 0.0;
+  for (auto& vm : vms_) {
+    const double util = vm.step(dt);
+    demanded_cores += util * static_cast<double>(vm.config().vcpus);
+  }
+  if (time_s_ < migration_overhead_until_s_) {
+    demanded_cores +=
+        options_.migration_cpu_overhead * static_cast<double>(spec_.physical_cores);
+  }
+  const double utilization =
+      std::clamp(demanded_cores / static_cast<double>(spec_.physical_cores),
+                 0.0, 1.0);
+
+  const double watts = power_at(utilization);
+  thermal_.step(dt, watts, ambient_c, options_.active_fans);
+
+  last_.time_s = time_s_;
+  last_.cpu_temp_true_c = thermal_.die_temp_c();
+  last_.cpu_temp_sensed_c = sensor_.read(thermal_.die_temp_c());
+  last_.power_watts = watts;
+  last_.utilization = utilization;
+  last_.vm_count = static_cast<int>(vms_.size());
+  return last_;
+}
+
+double PhysicalMachine::steady_state_die_c(double utilization,
+                                           double ambient_c) const {
+  return thermal_.steady_state_die_c(power_at(utilization), ambient_c,
+                                     options_.active_fans);
+}
+
+}  // namespace vmtherm::sim

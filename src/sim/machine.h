@@ -1,0 +1,111 @@
+// vmtherm/sim/machine.h
+//
+// PhysicalMachine: a server with resident VMs, its thermal network and
+// temperature sensor. Stepping a machine advances workloads, converts
+// aggregate demand to power, integrates the RC network and takes a sensor
+// reading. This is the simulated unit-under-test that replaces the paper's
+// physical server.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/sensor.h"
+#include "sim/server.h"
+#include "sim/thermal.h"
+#include "sim/vm.h"
+#include "util/rng.h"
+
+namespace vmtherm::sim {
+
+/// Snapshot of one machine step (feeds TracePoint / online predictors).
+struct MachineSample {
+  double time_s = 0.0;
+  double cpu_temp_true_c = 0.0;
+  double cpu_temp_sensed_c = 0.0;
+  double power_watts = 0.0;
+  double utilization = 0.0;  ///< aggregate CPU utilization [0, 1]
+  int vm_count = 0;
+};
+
+/// Options controlling machine behaviour beyond the server spec.
+struct MachineOptions {
+  SensorSpec sensor;
+  int active_fans = 4;          ///< θ_fan: fans running (1..fan_slots)
+  double initial_temp_c = 22.0; ///< thermal state at t=0 (cold start)
+  /// Extra CPU utilization on the host while a VM is migrating in or out
+  /// (pre-copy dirty-page tracking / transfer overhead).
+  double migration_cpu_overhead = 0.08;
+  /// Migration duration per GB of VM memory (seconds/GB).
+  double migration_s_per_gb = 2.5;
+};
+
+/// A live server hosting VMs.
+///
+/// Invariants (established at construction / mutation):
+///  * resident VM memory never exceeds server memory;
+///  * active_fans in [1, fan_slots].
+class PhysicalMachine {
+ public:
+  PhysicalMachine(ServerSpec spec, MachineOptions options, Rng rng);
+
+  const ServerSpec& spec() const noexcept { return spec_; }
+  int active_fans() const noexcept { return options_.active_fans; }
+  double time_s() const noexcept { return time_s_; }
+
+  /// Changes the fan configuration at run time (clamped to [1, fan_slots]).
+  void set_active_fans(int fans);
+
+  /// Places a VM. Throws ConfigError when memory capacity would be
+  /// exceeded or a VM with the same id is already resident.
+  void add_vm(Vm vm);
+
+  /// Removes and returns a VM (for migration); throws ConfigError when the
+  /// id is not resident.
+  Vm remove_vm(const std::string& vm_id);
+
+  /// Starts a migration-overhead window of `duration_s` seconds (called by
+  /// the cluster on both source and destination hosts).
+  void begin_migration_overhead(double duration_s);
+
+  bool has_vm(const std::string& vm_id) const noexcept;
+  std::size_t vm_count() const noexcept { return vms_.size(); }
+  const std::vector<Vm>& vms() const noexcept { return vms_; }
+
+  double used_memory_gb() const noexcept;
+  double free_memory_gb() const noexcept {
+    return spec_.memory_gb - used_memory_gb();
+  }
+  int total_vcpus() const noexcept;
+
+  /// Advances the machine by dt seconds under ambient temperature
+  /// `ambient_c`; returns the post-step sample.
+  MachineSample step(double dt, double ambient_c);
+
+  /// Most recent sample (zeroed before the first step).
+  const MachineSample& last_sample() const noexcept { return last_; }
+
+  /// Ground-truth steady-state die temperature if current utilization and
+  /// ambient persisted forever — used by tests.
+  double steady_state_die_c(double utilization, double ambient_c) const;
+
+  /// Direct access to the thermal network (tests / scenario setup).
+  ThermalNetwork& thermal() noexcept { return thermal_; }
+  const ThermalNetwork& thermal() const noexcept { return thermal_; }
+
+ private:
+  double power_at(double utilization) const noexcept;
+
+  ServerSpec spec_;
+  MachineOptions options_;
+  std::vector<Vm> vms_;
+  ThermalNetwork thermal_;
+  TemperatureSensor sensor_;
+  double time_s_ = 0.0;
+  double migration_overhead_until_s_ = 0.0;
+  MachineSample last_{};
+};
+
+}  // namespace vmtherm::sim

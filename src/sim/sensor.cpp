@@ -1,0 +1,23 @@
+#include "sim/sensor.h"
+
+#include <cmath>
+
+namespace vmtherm::sim {
+
+TemperatureSensor::TemperatureSensor(const SensorSpec& spec, Rng rng)
+    : spec_(spec), rng_(rng) {
+  spec_.validate();
+}
+
+double TemperatureSensor::read(double true_c) {
+  double value = true_c + spec_.bias_c;
+  if (spec_.noise_stddev_c > 0.0) {
+    value += rng_.normal(0.0, spec_.noise_stddev_c);
+  }
+  if (spec_.quantization_c > 0.0) {
+    value = std::round(value / spec_.quantization_c) * spec_.quantization_c;
+  }
+  return value;
+}
+
+}  // namespace vmtherm::sim

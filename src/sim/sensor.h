@@ -1,0 +1,41 @@
+// vmtherm/sim/sensor.h
+//
+// Temperature sensor model. Real digital thermal sensors report quantized,
+// noisy readings; the prediction pipeline only ever sees sensor output, so
+// the simulated testbed reproduces those imperfections.
+
+#pragma once
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace vmtherm::sim {
+
+/// Sensor imperfection parameters.
+struct SensorSpec {
+  double noise_stddev_c = 0.30;   ///< zero-mean Gaussian read noise
+  double quantization_c = 0.25;   ///< reading resolution (0 disables)
+  double bias_c = 0.0;            ///< constant calibration offset
+
+  void validate() const {
+    detail::require(noise_stddev_c >= 0.0, "sensor noise must be >= 0");
+    detail::require(quantization_c >= 0.0, "sensor quantization must be >= 0");
+  }
+};
+
+/// Stateful sensor bound to its own RNG substream.
+class TemperatureSensor {
+ public:
+  TemperatureSensor(const SensorSpec& spec, Rng rng);
+
+  /// Produces a reading of the true temperature `true_c`.
+  double read(double true_c);
+
+  const SensorSpec& spec() const noexcept { return spec_; }
+
+ private:
+  SensorSpec spec_;
+  Rng rng_;
+};
+
+}  // namespace vmtherm::sim

@@ -1,0 +1,50 @@
+#include "sim/server.h"
+
+#include <cmath>
+
+namespace vmtherm::sim {
+
+double ThermalParams::sink_to_ambient(int active_fans) const {
+  detail::require(active_fans >= 1, "active_fans must be >= 1");
+  const double ratio =
+      static_cast<double>(reference_fans) / static_cast<double>(active_fans);
+  return sink_to_ambient_resistance * std::pow(ratio, fan_exponent);
+}
+
+ServerSpec make_server_spec(const std::string& kind) {
+  ServerSpec spec;
+  if (kind == "small") {
+    spec.name = "small-1u";
+    spec.physical_cores = 8;
+    spec.core_ghz = 2.0;
+    spec.memory_gb = 32.0;
+    spec.fan_slots = 4;
+    spec.power.idle_watts = 45.0;
+    spec.power.max_cpu_watts = 160.0;
+    spec.thermal.sink_capacitance_j_per_k = 1600.0;
+    spec.thermal.sink_to_ambient_resistance = 0.13;
+  } else if (kind == "medium") {
+    spec.name = "medium-2u";
+    spec.physical_cores = 16;
+    spec.core_ghz = 2.4;
+    spec.memory_gb = 64.0;
+    spec.fan_slots = 6;
+    // Defaults from the struct definitions.
+  } else if (kind == "large") {
+    spec.name = "large-2u";
+    spec.physical_cores = 32;
+    spec.core_ghz = 2.8;
+    spec.memory_gb = 192.0;
+    spec.fan_slots = 8;
+    spec.power.idle_watts = 110.0;
+    spec.power.max_cpu_watts = 420.0;
+    spec.thermal.sink_capacitance_j_per_k = 3200.0;
+    spec.thermal.sink_to_ambient_resistance = 0.075;
+  } else {
+    throw ConfigError("unknown server kind: " + kind);
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace vmtherm::sim

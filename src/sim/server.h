@@ -1,0 +1,100 @@
+// vmtherm/sim/server.h
+//
+// Static description of a physical server: compute capacity, memory, power
+// envelope and fan configuration. These are the θ_cpu / θ_memory / θ_fan
+// inputs of the paper's Eq. (2), plus the power/thermal parameters our
+// simulated testbed needs to produce ground-truth temperature traces.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/error.h"
+
+namespace vmtherm::sim {
+
+/// Power envelope of a server: how utilization maps to heat.
+///
+/// P(u, m) = idle_watts
+///         + (max_cpu_watts - idle_watts) * u^cpu_exponent
+///         + memory_watts_per_gb * m
+/// where u in [0,1] is aggregate CPU utilization and m is actively used
+/// memory in GB. The mild superlinearity (cpu_exponent slightly > 1)
+/// reflects voltage/frequency scaling on real parts.
+struct PowerEnvelope {
+  double idle_watts = 70.0;          ///< whole-server power at idle
+  double max_cpu_watts = 260.0;      ///< whole-server power at 100% CPU
+  double cpu_exponent = 1.15;        ///< superlinearity of the CPU term
+  double memory_watts_per_gb = 0.35; ///< additional draw per GB in active use
+
+  /// Validates physical plausibility; throws ConfigError.
+  void validate() const {
+    detail::require(idle_watts > 0.0, "idle_watts must be positive");
+    detail::require(max_cpu_watts > idle_watts,
+                    "max_cpu_watts must exceed idle_watts");
+    detail::require(cpu_exponent >= 1.0 && cpu_exponent <= 2.0,
+                    "cpu_exponent must be in [1, 2]");
+    detail::require(memory_watts_per_gb >= 0.0,
+                    "memory_watts_per_gb must be non-negative");
+  }
+};
+
+/// Lumped-RC thermal parameters of the CPU package + heatsink stack.
+/// See sim/thermal.h for the network these parametrize.
+struct ThermalParams {
+  double die_capacitance_j_per_k = 120.0;   ///< C_die
+  double sink_capacitance_j_per_k = 2200.0; ///< C_sink (heatsink + case)
+  double die_to_sink_resistance = 0.06;     ///< R_ds [K/W]
+  /// Sink-to-ambient resistance with the reference fan configuration
+  /// (reference_fans fans at full speed) [K/W].
+  double sink_to_ambient_resistance = 0.10;
+  int reference_fans = 4;                   ///< fans the R above refers to
+  /// Exponent of the fan law: R_sa(f) = R_ref * (reference_fans/f)^fan_exponent.
+  double fan_exponent = 0.65;
+
+  void validate() const {
+    detail::require(die_capacitance_j_per_k > 0.0, "C_die must be positive");
+    detail::require(sink_capacitance_j_per_k > 0.0, "C_sink must be positive");
+    detail::require(die_to_sink_resistance > 0.0, "R_ds must be positive");
+    detail::require(sink_to_ambient_resistance > 0.0, "R_sa must be positive");
+    detail::require(reference_fans >= 1, "reference_fans must be >= 1");
+    detail::require(fan_exponent > 0.0 && fan_exponent <= 2.0,
+                    "fan_exponent must be in (0, 2]");
+  }
+
+  /// Sink-to-ambient resistance for a given number of active fans (>= 1).
+  double sink_to_ambient(int active_fans) const;
+};
+
+/// Complete static server description.
+struct ServerSpec {
+  std::string name = "server";
+  int physical_cores = 16;
+  double core_ghz = 2.4;
+  double memory_gb = 64.0;
+  int fan_slots = 6;  ///< maximum number of fans that can be active
+  PowerEnvelope power;
+  ThermalParams thermal;
+
+  /// Total CPU capacity in GHz — the paper's θ_cpu.
+  double cpu_capacity_ghz() const noexcept {
+    return static_cast<double>(physical_cores) * core_ghz;
+  }
+
+  void validate() const {
+    detail::require(!name.empty(), "server name must be non-empty");
+    detail::require(physical_cores >= 1, "physical_cores must be >= 1");
+    detail::require(core_ghz > 0.0, "core_ghz must be positive");
+    detail::require(memory_gb > 0.0, "memory_gb must be positive");
+    detail::require(fan_slots >= 1, "fan_slots must be >= 1");
+    power.validate();
+    thermal.validate();
+  }
+};
+
+/// A few ready-made server models used by tests, examples and benches.
+/// `kind` in {"small", "medium", "large"}; throws ConfigError otherwise.
+ServerSpec make_server_spec(const std::string& kind);
+
+}  // namespace vmtherm::sim

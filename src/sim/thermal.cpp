@@ -1,0 +1,54 @@
+#include "sim/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmtherm::sim {
+
+ThermalNetwork::ThermalNetwork(const ThermalParams& params,
+                               double initial_temp_c)
+    : params_(params), die_c_(initial_temp_c), sink_c_(initial_temp_c) {
+  params_.validate();
+}
+
+void ThermalNetwork::step(double dt, double power_watts, double ambient_c,
+                          int active_fans) noexcept {
+  if (dt <= 0.0) return;
+  active_fans = std::max(1, active_fans);
+  const double r_ds = params_.die_to_sink_resistance;
+  const double r_sa = params_.sink_to_ambient(active_fans);
+  const double c_die = params_.die_capacitance_j_per_k;
+  const double c_sink = params_.sink_capacitance_j_per_k;
+
+  // Fast time constant bounds the stable Euler step.
+  const double tau_fast = std::min(c_die * r_ds, c_sink * r_sa);
+  const double dt_sub_max = tau_fast / 20.0;
+  const int n_sub = std::max(1, static_cast<int>(std::ceil(dt / dt_sub_max)));
+  const double h = dt / static_cast<double>(n_sub);
+
+  for (int i = 0; i < n_sub; ++i) {
+    const double q_ds = (die_c_ - sink_c_) / r_ds;   // die -> sink flow [W]
+    const double q_sa = (sink_c_ - ambient_c) / r_sa; // sink -> ambient [W]
+    die_c_ += h * (power_watts - q_ds) / c_die;
+    sink_c_ += h * (q_ds - q_sa) / c_sink;
+  }
+}
+
+double ThermalNetwork::steady_state_die_c(double power_watts, double ambient_c,
+                                          int active_fans) const {
+  const double r_total = params_.die_to_sink_resistance +
+                         params_.sink_to_ambient(std::max(1, active_fans));
+  return ambient_c + power_watts * r_total;
+}
+
+double ThermalNetwork::slow_time_constant_s(int active_fans) const {
+  return params_.sink_capacitance_j_per_k *
+         params_.sink_to_ambient(std::max(1, active_fans));
+}
+
+void ThermalNetwork::reset(double die_c, double sink_c) noexcept {
+  die_c_ = die_c;
+  sink_c_ = sink_c;
+}
+
+}  // namespace vmtherm::sim

@@ -1,0 +1,88 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace vmtherm::sim {
+
+TemperatureTrace::TemperatureTrace(double interval_s)
+    : interval_s_(interval_s) {
+  detail::require(interval_s > 0.0, "trace interval must be positive");
+}
+
+std::vector<double> TemperatureTrace::sensed_temps() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.cpu_temp_sensed_c);
+  return out;
+}
+
+std::vector<double> TemperatureTrace::true_temps() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.cpu_temp_true_c);
+  return out;
+}
+
+namespace {
+
+template <typename Getter>
+double mean_between(const std::vector<TracePoint>& points, double from_s,
+                    double to_s, Getter get) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points) {
+    if (p.time_s >= from_s && p.time_s <= to_s) {
+      sum += get(p);
+      ++n;
+    }
+  }
+  vmtherm::detail::require_data(n > 0, "no trace points in requested window");
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+double TemperatureTrace::mean_sensed_between(double from_s, double to_s) const {
+  return mean_between(points_, from_s, to_s,
+                      [](const TracePoint& p) { return p.cpu_temp_sensed_c; });
+}
+
+double TemperatureTrace::mean_true_between(double from_s, double to_s) const {
+  return mean_between(points_, from_s, to_s,
+                      [](const TracePoint& p) { return p.cpu_temp_true_c; });
+}
+
+double TemperatureTrace::sensed_at(double t) const {
+  detail::require_data(!points_.empty(), "sensed_at on empty trace");
+  if (t <= points_.front().time_s) return points_.front().cpu_temp_sensed_c;
+  if (t >= points_.back().time_s) return points_.back().cpu_temp_sensed_c;
+  // Uniform sampling -> direct index; fall back to search if needed.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), t,
+      [](const TracePoint& p, double value) { return p.time_s < value; });
+  const auto& hi = *it;
+  if (hi.time_s == t || it == points_.begin()) return hi.cpu_temp_sensed_c;
+  const auto& lo = *(it - 1);
+  const double frac = (t - lo.time_s) / (hi.time_s - lo.time_s);
+  return lo.cpu_temp_sensed_c +
+         frac * (hi.cpu_temp_sensed_c - lo.cpu_temp_sensed_c);
+}
+
+void TemperatureTrace::write_csv(std::ostream& os) const {
+  CsvWriter writer(os);
+  writer.write_row({"time_s", "cpu_temp_true_c", "cpu_temp_sensed_c",
+                    "env_temp_c", "power_watts", "utilization", "vm_count"});
+  for (const auto& p : points_) {
+    writer.write_row({Table::num(p.time_s, 1), Table::num(p.cpu_temp_true_c, 4),
+                      Table::num(p.cpu_temp_sensed_c, 4),
+                      Table::num(p.env_temp_c, 4), Table::num(p.power_watts, 2),
+                      Table::num(p.utilization, 4),
+                      Table::num(static_cast<long long>(p.vm_count))});
+  }
+}
+
+}  // namespace vmtherm::sim

@@ -1,0 +1,77 @@
+// vmtherm/sim/trace.h
+//
+// Temperature traces: the time series a simulated experiment produces and
+// the profiling/prediction layers consume.
+
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "util/error.h"
+
+namespace vmtherm::sim {
+
+/// One sampling instant of a machine under test.
+struct TracePoint {
+  double time_s = 0.0;        ///< seconds since experiment start
+  double cpu_temp_true_c = 0.0;   ///< ground-truth die temperature
+  double cpu_temp_sensed_c = 0.0; ///< sensor reading (what models see)
+  double env_temp_c = 0.0;    ///< ambient at this instant
+  double power_watts = 0.0;   ///< server power draw
+  double utilization = 0.0;   ///< aggregate CPU utilization [0, 1]
+  int vm_count = 0;           ///< VMs resident at this instant
+};
+
+/// A uniformly sampled experiment trace.
+class TemperatureTrace {
+ public:
+  TemperatureTrace() = default;
+
+  /// Declares the sampling interval; points appended with push_back must be
+  /// interval_s apart (not enforced per point — experiment runners produce
+  /// uniform traces by construction).
+  explicit TemperatureTrace(double interval_s);
+
+  void push_back(const TracePoint& p) { points_.push_back(p); }
+
+  bool empty() const noexcept { return points_.empty(); }
+  std::size_t size() const noexcept { return points_.size(); }
+  double interval_s() const noexcept { return interval_s_; }
+
+  const TracePoint& operator[](std::size_t i) const noexcept {
+    return points_[i];
+  }
+  const std::vector<TracePoint>& points() const noexcept { return points_; }
+
+  /// Total covered time (time of last point; 0 if empty).
+  double duration_s() const noexcept {
+    return points_.empty() ? 0.0 : points_.back().time_s;
+  }
+
+  /// Sensed temperatures of all points, in order.
+  std::vector<double> sensed_temps() const;
+
+  /// True temperatures of all points, in order.
+  std::vector<double> true_temps() const;
+
+  /// Mean *sensed* temperature over [from_s, to_s] (inclusive).
+  /// Throws DataError if no point falls in the window.
+  double mean_sensed_between(double from_s, double to_s) const;
+
+  /// Mean *true* temperature over [from_s, to_s] (inclusive).
+  double mean_true_between(double from_s, double to_s) const;
+
+  /// Linear interpolation of the sensed temperature at time t (clamped to
+  /// the trace ends). Throws DataError on an empty trace.
+  double sensed_at(double t) const;
+
+  /// Writes the trace as CSV (header + one row per point).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  double interval_s_ = 1.0;
+  std::vector<TracePoint> points_;
+};
+
+}  // namespace vmtherm::sim

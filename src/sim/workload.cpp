@@ -1,0 +1,234 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace vmtherm::sim {
+
+std::string task_type_name(TaskType type) {
+  switch (type) {
+    case TaskType::kIdle: return "idle";
+    case TaskType::kCpuBurn: return "cpu_burn";
+    case TaskType::kMemoryBound: return "memory_bound";
+    case TaskType::kWebServer: return "web_server";
+    case TaskType::kBatch: return "batch";
+    case TaskType::kBursty: return "bursty";
+  }
+  return "unknown";
+}
+
+TaskType task_type_from_name(const std::string& name) {
+  for (TaskType t : all_task_types()) {
+    if (task_type_name(t) == name) return t;
+  }
+  throw ConfigError("unknown task type name: " + name);
+}
+
+double task_type_mean_utilization(TaskType type) noexcept {
+  switch (type) {
+    case TaskType::kIdle: return 0.02;
+    case TaskType::kCpuBurn: return 0.95;
+    case TaskType::kMemoryBound: return 0.55;
+    case TaskType::kWebServer: return 0.45;
+    case TaskType::kBatch: return 0.75;
+    case TaskType::kBursty: return 0.40;
+  }
+  return 0.0;
+}
+
+double task_type_memory_activity(TaskType type) noexcept {
+  switch (type) {
+    case TaskType::kIdle: return 0.05;
+    case TaskType::kCpuBurn: return 0.25;
+    case TaskType::kMemoryBound: return 0.95;
+    case TaskType::kWebServer: return 0.45;
+    case TaskType::kBatch: return 0.50;
+    case TaskType::kBursty: return 0.35;
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Utilization that fluctuates around a fixed mean with bounded Gaussian
+/// noise and slow AR(1) drift — models idle / cpu-burn / memory / batch.
+class SteadyUtilization final : public UtilizationModel {
+ public:
+  SteadyUtilization(double mean_util, double noise_sigma, Rng rng)
+      : mean_(mean_util), sigma_(noise_sigma), rng_(rng), drift_(0.0) {}
+
+  double step(double dt) override {
+    // AR(1) drift with ~120 s correlation time keeps consecutive samples
+    // realistic rather than white noise.
+    const double rho = std::exp(-dt / 120.0);
+    drift_ = rho * drift_ + std::sqrt(std::max(0.0, 1.0 - rho * rho)) *
+                                rng_.normal(0.0, sigma_);
+    return std::clamp(mean_ + drift_, 0.0, 1.0);
+  }
+
+  double mean_utilization() const noexcept override { return mean_; }
+
+ private:
+  double mean_;
+  double sigma_;
+  Rng rng_;
+  double drift_;
+};
+
+/// Sinusoidal diurnal pattern plus request noise — models a web server.
+/// The "day" is compressed to diurnal_period_s so that multi-hour dynamics
+/// appear within experiment-length runs.
+class DiurnalUtilization final : public UtilizationModel {
+ public:
+  DiurnalUtilization(double mean_util, double amplitude, double period_s,
+                     Rng rng)
+      : mean_(mean_util),
+        amplitude_(amplitude),
+        period_s_(period_s),
+        rng_(rng),
+        // Random phase so co-located web VMs are not synchronized.
+        phase_(rng_.uniform(0.0, 2.0 * std::numbers::pi)),
+        t_(0.0) {}
+
+  double step(double dt) override {
+    t_ += dt;
+    const double angle = 2.0 * std::numbers::pi * t_ / period_s_ + phase_;
+    const double base = mean_ + amplitude_ * std::sin(angle);
+    const double noise = rng_.normal(0.0, 0.05);
+    return std::clamp(base + noise, 0.0, 1.0);
+  }
+
+  double mean_utilization() const noexcept override { return mean_; }
+
+ private:
+  double mean_;
+  double amplitude_;
+  double period_s_;
+  Rng rng_;
+  double phase_;
+  double t_;
+};
+
+/// Two-state Markov-modulated process: ON at high utilization, OFF near
+/// zero, exponential dwell times — models bursty analytics jobs.
+class BurstyUtilization final : public UtilizationModel {
+ public:
+  BurstyUtilization(double on_util, double off_util, double mean_on_s,
+                    double mean_off_s, Rng rng)
+      : on_util_(on_util),
+        off_util_(off_util),
+        mean_on_s_(mean_on_s),
+        mean_off_s_(mean_off_s),
+        rng_(rng) {
+    on_ = rng_.bernoulli(duty_cycle());
+    remaining_s_ = rng_.exponential(1.0 / (on_ ? mean_on_s_ : mean_off_s_));
+  }
+
+  double step(double dt) override {
+    // Weighted-average utilization across possibly multiple state changes
+    // within dt.
+    double remaining_dt = dt;
+    double acc = 0.0;
+    while (remaining_dt > 0.0) {
+      const double span = std::min(remaining_dt, remaining_s_);
+      acc += span * (on_ ? on_util_ : off_util_);
+      remaining_dt -= span;
+      remaining_s_ -= span;
+      if (remaining_s_ <= 0.0) {
+        on_ = !on_;
+        remaining_s_ = rng_.exponential(1.0 / (on_ ? mean_on_s_ : mean_off_s_));
+      }
+    }
+    const double util = acc / dt + rng_.normal(0.0, 0.02);
+    return std::clamp(util, 0.0, 1.0);
+  }
+
+  double mean_utilization() const noexcept override {
+    return duty_cycle() * on_util_ + (1.0 - duty_cycle()) * off_util_;
+  }
+
+ private:
+  double duty_cycle() const noexcept {
+    return mean_on_s_ / (mean_on_s_ + mean_off_s_);
+  }
+
+  double on_util_;
+  double off_util_;
+  double mean_on_s_;
+  double mean_off_s_;
+  Rng rng_;
+  bool on_ = false;
+  double remaining_s_ = 0.0;
+};
+
+}  // namespace
+
+ReplayUtilization::ReplayUtilization(std::vector<double> samples,
+                                     double sample_interval_s)
+    : samples_(std::move(samples)), interval_s_(sample_interval_s) {
+  detail::require(!samples_.empty(), "replay series must be non-empty");
+  detail::require(interval_s_ > 0.0, "replay interval must be positive");
+  double sum = 0.0;
+  for (double& v : samples_) {
+    v = std::clamp(v, 0.0, 1.0);
+    sum += v;
+  }
+  mean_ = sum / static_cast<double>(samples_.size());
+}
+
+double ReplayUtilization::step(double dt) {
+  // Average the replayed signal over [t_, t_ + dt] (piecewise constant
+  // samples, looping series).
+  const double period = interval_s_ * static_cast<double>(samples_.size());
+  double remaining = dt;
+  double pos = std::fmod(t_, period);
+  double acc = 0.0;
+  while (remaining > 1e-12) {
+    const auto idx = static_cast<std::size_t>(pos / interval_s_) %
+                     samples_.size();
+    const double sample_end =
+        (static_cast<double>(idx) + 1.0) * interval_s_;
+    const double span = std::min(remaining, sample_end - pos);
+    acc += samples_[idx] * span;
+    pos = std::fmod(pos + span, period);
+    remaining -= span;
+  }
+  t_ += dt;
+  return acc / dt;
+}
+
+std::unique_ptr<UtilizationModel> make_replay_model(
+    std::vector<double> samples, double sample_interval_s) {
+  return std::make_unique<ReplayUtilization>(std::move(samples),
+                                             sample_interval_s);
+}
+
+std::unique_ptr<UtilizationModel> make_utilization_model(TaskType type,
+                                                         Rng rng) {
+  switch (type) {
+    case TaskType::kIdle:
+      return std::make_unique<SteadyUtilization>(0.02, 0.01, rng);
+    case TaskType::kCpuBurn:
+      return std::make_unique<SteadyUtilization>(0.95, 0.03, rng);
+    case TaskType::kMemoryBound:
+      return std::make_unique<SteadyUtilization>(0.55, 0.05, rng);
+    case TaskType::kWebServer:
+      // Period 600 s divides the profiling window [t_break, t_exp] for the
+      // standard durations, so the random phase cancels out of psi_stable
+      // (window-mean) while per-sample dynamics stay strongly diurnal.
+      return std::make_unique<DiurnalUtilization>(0.45, 0.25, 600.0, rng);
+    case TaskType::kBatch:
+      return std::make_unique<SteadyUtilization>(0.75, 0.04, rng);
+    case TaskType::kBursty:
+      // 70% duty at 0.55 on-util -> mean ~= 0.40. Short on/off dwells keep
+      // the realized window-mean close to the duty cycle (low label noise)
+      // while individual samples still swing between regimes.
+      return std::make_unique<BurstyUtilization>(0.55, 0.05, 35.0, 15.0, rng);
+  }
+  throw ConfigError("unknown task type in make_utilization_model");
+}
+
+}  // namespace vmtherm::sim

@@ -1,0 +1,100 @@
+// vmtherm/sim/workload.h
+//
+// Per-VM utilization generators. Each VM carries a task of one TaskType;
+// the generator produces per-vCPU utilization in [0, 1] as a function of
+// time, driven by a private deterministic RNG substream. This is the
+// synthetic stand-in for the heterogeneous tenant workloads of the paper's
+// testbed: the prediction model never sees these internals, only the
+// aggregate features of Eq. (2).
+
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vmtherm::sim {
+
+/// Task categories deployed inside VMs. Mirrors the heterogeneity the paper
+/// attributes to multi-tenant clouds.
+enum class TaskType {
+  kIdle = 0,        ///< parked VM, ~2% CPU
+  kCpuBurn,         ///< compute-bound batch, ~95% CPU
+  kMemoryBound,     ///< memory-streaming job: moderate CPU, high memory power
+  kWebServer,       ///< diurnal request-driven load with noise
+  kBatch,           ///< steady medium-high CPU
+  kBursty,          ///< on/off Markov-modulated load
+};
+
+inline constexpr std::size_t kTaskTypeCount = 6;
+
+/// All task types, in enum order — for iteration in feature encoders and
+/// scenario samplers.
+constexpr std::array<TaskType, kTaskTypeCount> all_task_types() {
+  return {TaskType::kIdle,        TaskType::kCpuBurn, TaskType::kMemoryBound,
+          TaskType::kWebServer,   TaskType::kBatch,   TaskType::kBursty};
+}
+
+/// Human-readable task name ("idle", "cpu_burn", ...).
+std::string task_type_name(TaskType type);
+
+/// Inverse of task_type_name; throws ConfigError on unknown names.
+TaskType task_type_from_name(const std::string& name);
+
+/// Expected long-run per-vCPU utilization of a task type (the model feature
+/// "utilization demand"; the realized value fluctuates around this).
+double task_type_mean_utilization(TaskType type) noexcept;
+
+/// Fraction of a VM's memory actively touched by this task type (drives the
+/// memory term of the power model).
+double task_type_memory_activity(TaskType type) noexcept;
+
+/// Stateful utilization process for one VM.
+///
+/// Implementations are deterministic functions of (construction params,
+/// seed, sequence of step() calls).
+class UtilizationModel {
+ public:
+  virtual ~UtilizationModel() = default;
+
+  /// Advances the process by dt seconds and returns per-vCPU utilization in
+  /// [0, 1] for the elapsed interval.
+  virtual double step(double dt) = 0;
+
+  /// Long-run mean utilization of this process (constant; used as the
+  /// demand feature).
+  virtual double mean_utilization() const noexcept = 0;
+};
+
+/// Factory: builds the generator matching a task type.
+/// `rng` seeds the private substream of the returned model.
+std::unique_ptr<UtilizationModel> make_utilization_model(TaskType type,
+                                                         Rng rng);
+
+/// Utilization replayed from a recorded series: sample i covers
+/// [i*interval, (i+1)*interval); the series loops when exhausted. This is
+/// the hook for driving the testbed with real datacenter traces instead of
+/// the synthetic generators (values are clamped to [0, 1]).
+class ReplayUtilization final : public UtilizationModel {
+ public:
+  /// Throws ConfigError on an empty series or non-positive interval.
+  ReplayUtilization(std::vector<double> samples, double sample_interval_s);
+
+  double step(double dt) override;
+  double mean_utilization() const noexcept override { return mean_; }
+
+ private:
+  std::vector<double> samples_;
+  double interval_s_;
+  double t_ = 0.0;
+  double mean_ = 0.0;
+};
+
+/// Convenience factory for replay models.
+std::unique_ptr<UtilizationModel> make_replay_model(
+    std::vector<double> samples, double sample_interval_s);
+
+}  // namespace vmtherm::sim

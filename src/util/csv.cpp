@@ -1,0 +1,126 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace vmtherm {
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw IoError("csv column not found: " + name);
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << csv_escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+namespace {
+
+/// State-machine CSV parser over the whole stream contents.
+std::vector<std::vector<std::string>> parse_rows(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_has_content || !field.empty() || !row.empty()) end_row();
+        break;
+      default:
+        field += ch;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) throw IoError("unterminated quoted csv field");
+  if (row_has_content || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace
+
+CsvDocument read_csv(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  auto rows = parse_rows(buffer.str());
+  CsvDocument doc;
+  if (rows.empty()) return doc;
+  doc.header = std::move(rows.front());
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != doc.header.size()) {
+      throw IoError("ragged csv row " + std::to_string(r) + ": expected " +
+                    std::to_string(doc.header.size()) + " fields, got " +
+                    std::to_string(rows[r].size()));
+    }
+    doc.rows.push_back(std::move(rows[r]));
+  }
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open csv file: " + path);
+  return read_csv(in);
+}
+
+}  // namespace vmtherm

@@ -1,0 +1,47 @@
+// vmtherm/util/csv.h
+//
+// Minimal CSV reading/writing for datasets, traces and bench output.
+// Supports quoted fields with embedded commas/quotes/newlines (RFC 4180
+// subset) — enough to persist experiment records and temperature traces.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vmtherm {
+
+/// One parsed CSV document: a header row plus data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws IoError if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Writes rows as CSV, quoting fields when needed.
+class CsvWriter {
+ public:
+  /// Binds to an output stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Parses a full CSV document from a stream. The first row becomes the
+/// header. Throws IoError on ragged rows (row width != header width) or
+/// unterminated quotes.
+CsvDocument read_csv(std::istream& is);
+
+/// Parses a CSV file from disk; throws IoError if the file cannot be opened.
+CsvDocument read_csv_file(const std::string& path);
+
+/// Serializes one CSV field, quoting if it contains comma/quote/newline.
+std::string csv_escape(const std::string& field);
+
+}  // namespace vmtherm

@@ -1,0 +1,66 @@
+// vmtherm/util/error.h
+//
+// Exception hierarchy for the vmtherm library.
+//
+// Convention (per C++ Core Guidelines E.2/E.14): constructors establish
+// invariants and throw on violation; hot inner loops (simulation stepping,
+// SMO iterations, prediction) are noexcept once inputs are validated at the
+// API boundary.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vmtherm {
+
+/// Base class for all errors raised by the vmtherm library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A configuration object (spec, experiment description, hyper-parameter
+/// grid, ...) violates its documented constraints.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// A dataset/trace is malformed for the requested operation (empty training
+/// set, inconsistent feature dimensions, trace shorter than t_break, ...).
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error("data error: " + what) {}
+};
+
+/// Numerical failure (singular matrix, non-converging solver past its
+/// iteration budget, non-finite value where one is required).
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error("numeric error: " + what) {}
+};
+
+/// Failure to parse or serialize an external representation (CSV rows,
+/// model files).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+namespace detail {
+
+/// Throws ConfigError with `msg` unless `cond` holds. Used by constructors
+/// to establish invariants.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw ConfigError(msg);
+}
+
+/// Throws DataError with `msg` unless `cond` holds.
+inline void require_data(bool cond, const std::string& msg) {
+  if (!cond) throw DataError(msg);
+}
+
+}  // namespace detail
+
+}  // namespace vmtherm

@@ -1,0 +1,61 @@
+// vmtherm/util/matrix.h
+//
+// Small dense linear algebra: just enough for the closed-form ridge
+// regression baseline and a few tests. Row-major storage, no expression
+// templates — clarity over peak performance (hot paths in this library are
+// the SMO solver and the simulator, not this class).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vmtherm {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Matrix product; throws ConfigError on dimension mismatch.
+  Matrix multiply(const Matrix& other) const;
+
+  /// Transpose.
+  Matrix transposed() const;
+
+  /// this + lambda * I; throws ConfigError unless square.
+  Matrix add_scaled_identity(double lambda) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky
+/// factorization. Throws NumericError if A is not SPD (within tolerance)
+/// and ConfigError on dimension mismatch.
+std::vector<double> cholesky_solve(const Matrix& a,
+                                   const std::vector<double>& b);
+
+/// Solves A x = b via Gaussian elimination with partial pivoting (general
+/// square A). Throws NumericError on singular A.
+std::vector<double> gaussian_solve(Matrix a, std::vector<double> b);
+
+}  // namespace vmtherm

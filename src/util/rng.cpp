@@ -1,0 +1,113 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vmtherm {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // consecutive zeros, so no further check is needed.
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+int Rng::uniform_int(int lo, int hi) noexcept {
+  if (hi <= lo) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Modulo bias is < 2^-50 for the spans used in this library.
+  return lo + static_cast<int>(next_u64() % span);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u = 1.0 - uniform();  // (0, 1]
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (weights.empty() || total <= 0.0) return 0;
+  double x = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) noexcept {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::size_t j = next_u64() % i;
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) noexcept {
+  // Mix the parent state with the stream id through SplitMix64 to derive an
+  // independent child seed. Advances the parent so repeated forks with the
+  // same id still differ.
+  std::uint64_t base = next_u64();
+  SplitMix64 sm(base ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+  return Rng(sm.next());
+}
+
+}  // namespace vmtherm

@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace vmtherm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  detail::require(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  detail::require(cells.size() == headers_.size(),
+                  "table row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os, int indent) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << pad;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      if (c + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  os << pad;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c], '-');
+    if (c + 1 < widths.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string Table::to_string(int indent) const {
+  std::ostringstream oss;
+  print(oss, indent);
+  return oss.str();
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string Table::num(long long v) { return std::to_string(v); }
+
+void print_section(std::ostream& os, const std::string& title) {
+  os << "\n## " << title << "\n\n";
+}
+
+void print_kv(std::ostream& os, const std::string& key, const std::string& value) {
+  os << "  " << std::left << std::setw(28) << (key + ":") << value << '\n';
+}
+
+}  // namespace vmtherm

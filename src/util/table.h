@@ -1,0 +1,54 @@
+// vmtherm/util/table.h
+//
+// Fixed-width ASCII table printer used by the bench binaries to emit the
+// rows/series corresponding to the paper's tables and figures.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vmtherm {
+
+/// Column-aligned text table. Cells are strings; helpers format numbers.
+///
+///   Table t({"case", "measured", "predicted", "sq.err"});
+///   t.add_row({"1", Table::num(54.2, 2), Table::num(54.8, 2), ...});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers
+  /// (throws ConfigError otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a header separator. `indent` spaces prefix each
+  /// line.
+  void print(std::ostream& os, int indent = 0) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string(int indent = 0) const;
+
+  /// Formats a double with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Formats an integer.
+  static std::string num(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "## <title>" section heading followed by a blank line — gives
+/// bench output a uniform, grep-able structure.
+void print_section(std::ostream& os, const std::string& title);
+
+/// Prints a "key: value" line with aligned keys (used for bench metadata).
+void print_kv(std::ostream& os, const std::string& key, const std::string& value);
+
+}  // namespace vmtherm

@@ -1,0 +1,184 @@
+// Tests for the baseline predictors: task-temperature profiles [4],
+// RC-circuit model [5], and the naive dynamic comparators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/naive_dynamic.h"
+#include "baselines/rc_predictor.h"
+#include "baselines/task_temperature.h"
+#include "core/evaluator.h"
+
+namespace vmtherm::baselines {
+namespace {
+
+const std::vector<core::Record>& corpus() {
+  static const std::vector<core::Record> records = [] {
+    sim::ScenarioRanges ranges;
+    ranges.duration_s = 1200.0;
+    ranges.sample_interval_s = 10.0;
+    return core::generate_corpus(ranges, 80, 55);
+  }();
+  return records;
+}
+
+TEST(TaskTemperatureTest, EmptyCorpusThrows) {
+  EXPECT_THROW((void)TaskTemperatureBaseline::fit({}), DataError);
+}
+
+TEST(TaskTemperatureTest, FitsAndPredictsPlausibly) {
+  const auto model = TaskTemperatureBaseline::fit(corpus());
+  for (const auto& r : corpus()) {
+    const double pred = model.predict(r);
+    EXPECT_GT(pred, 0.0);
+    EXPECT_LT(pred, 130.0);
+  }
+}
+
+TEST(TaskTemperatureTest, CpuBurnContributesMoreThanIdle) {
+  const auto model = TaskTemperatureBaseline::fit(corpus());
+  const auto contrib = model.contributions();
+  ASSERT_EQ(contrib.size(), sim::kTaskTypeCount);
+  const double burn =
+      contrib[static_cast<std::size_t>(sim::TaskType::kCpuBurn)];
+  const double idle = contrib[static_cast<std::size_t>(sim::TaskType::kIdle)];
+  EXPECT_GT(burn, idle);
+}
+
+TEST(TaskTemperatureTest, BaseTemperatureIsWarmish) {
+  const auto model = TaskTemperatureBaseline::fit(corpus());
+  // An empty server still shows ambient + idle heat: somewhere sane.
+  EXPECT_GT(model.base_temperature(), 10.0);
+  EXPECT_LT(model.base_temperature(), 60.0);
+}
+
+TEST(TaskTemperatureTest, BlindToFansAndEnvironment) {
+  // The defining limitation: two records differing only in fans/env get the
+  // same prediction.
+  const auto model = TaskTemperatureBaseline::fit(corpus());
+  core::Record r = corpus().front();
+  core::Record hot_room = r;
+  hot_room.env_temp_c = r.env_temp_c + 10.0;
+  hot_room.fan_count = 1.0;
+  EXPECT_DOUBLE_EQ(model.predict(r), model.predict(hot_room));
+}
+
+TEST(RcBaselineTest, EmptyCorpusThrows) {
+  EXPECT_THROW((void)RcBaseline::fit({}), DataError);
+}
+
+TEST(RcBaselineTest, FitsPlausibleParameters) {
+  const auto model = RcBaseline::fit(corpus());
+  EXPECT_GT(model.homogeneous_utilization(), 0.0);
+  EXPECT_LE(model.homogeneous_utilization(), 1.0);
+}
+
+TEST(RcBaselineTest, PredictionsTrackEnvironment) {
+  const auto model = RcBaseline::fit(corpus());
+  core::Record r = corpus().front();
+  core::Record hot_room = r;
+  hot_room.env_temp_c = r.env_temp_c + 10.0;
+  // RC physics: ambient shifts prediction 1:1.
+  EXPECT_NEAR(model.predict(hot_room) - model.predict(r), 10.0, 1e-9);
+}
+
+TEST(RcBaselineTest, MoreFansPredictCooler) {
+  const auto model = RcBaseline::fit(corpus());
+  core::Record r = corpus().front();
+  r.vm.vm_count = 6.0;
+  core::Record many_fans = r;
+  r.fan_count = 1.0;
+  many_fans.fan_count = 6.0;
+  EXPECT_GT(model.predict(r), model.predict(many_fans));
+}
+
+TEST(RcBaselineTest, MoreVmsPredictHotterUntilSaturation) {
+  const auto model = RcBaseline::fit(corpus());
+  core::Record r = corpus().front();
+  r.fan_count = 4.0;
+  core::Record few = r;
+  few.vm.vm_count = 1.0;
+  core::Record many = r;
+  many.vm.vm_count = 8.0;
+  EXPECT_GE(model.predict(many), model.predict(few));
+}
+
+TEST(RcBaselineTest, DynamicValueInterpolatesExponentially) {
+  const auto model = RcBaseline::fit(corpus());
+  const core::Record r = corpus().front();
+  const double psi = model.predict(r);
+  const double phi0 = psi - 20.0;
+  EXPECT_NEAR(model.dynamic_value(r, phi0, 0.0), phi0, 1e-9);
+  const double tau = 250.0;
+  const double at_tau = model.dynamic_value(r, phi0, tau);
+  EXPECT_NEAR(at_tau, psi - 20.0 * std::exp(-1.0), 1e-9);
+  EXPECT_NEAR(model.dynamic_value(r, phi0, 1e7), psi, 1e-6);
+}
+
+TEST(LastValueTest, ThrowsBeforeObservation) {
+  LastValuePredictor p;
+  EXPECT_THROW((void)p.predict_ahead(60.0), DataError);
+}
+
+TEST(LastValueTest, ReturnsLatestObservation) {
+  LastValuePredictor p;
+  p.observe(0.0, 40.0);
+  p.observe(10.0, 45.0);
+  EXPECT_DOUBLE_EQ(p.predict_ahead(60.0), 45.0);
+}
+
+TEST(EmaTest, InvalidAlphaRejected) {
+  EXPECT_THROW(EmaPredictor(0.0), ConfigError);
+  EXPECT_THROW(EmaPredictor(1.5), ConfigError);
+}
+
+TEST(EmaTest, ConvergesToConstantInput) {
+  EmaPredictor p(0.3);
+  for (int i = 0; i < 100; ++i) p.observe(i, 50.0);
+  EXPECT_NEAR(p.predict_ahead(60.0), 50.0, 1e-9);
+}
+
+TEST(EmaTest, SmoothsSteps) {
+  EmaPredictor p(0.5);
+  p.observe(0.0, 0.0);
+  p.observe(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.predict_ahead(1.0), 5.0);
+}
+
+TEST(TrendTest, ExtrapolatesLinearly) {
+  TrendPredictor p;
+  EXPECT_THROW((void)p.predict_ahead(10.0), DataError);
+  p.observe(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.predict_ahead(5.0), 10.0);  // single point: flat
+  p.observe(10.0, 20.0);                          // slope 1/s
+  EXPECT_DOUBLE_EQ(p.predict_ahead(5.0), 25.0);
+}
+
+TEST(BaselineComparisonTest, SvrBeatsTaskProfilesOutOfSample) {
+  // The paper's core motivation: VM-level features beat task-level tables.
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1200.0;
+  ranges.sample_interval_s = 10.0;
+  const auto test_records = core::generate_corpus(ranges, 25, 77);
+
+  core::StableTrainOptions options;
+  ml::SvrParams params;
+  params.kernel.gamma = 1.0 / 16;
+  params.c = 256.0;
+  params.epsilon = 0.05;
+  options.fixed_params = params;
+  const auto svr = core::StableTemperaturePredictor::train(corpus(), options);
+  const auto task_model = TaskTemperatureBaseline::fit(corpus());
+
+  double se_svr = 0.0;
+  double se_task = 0.0;
+  for (const auto& r : test_records) {
+    se_svr += std::pow(svr.predict(r) - r.stable_temp_c, 2);
+    se_task += std::pow(task_model.predict(r) - r.stable_temp_c, 2);
+  }
+  EXPECT_LT(se_svr, se_task);
+}
+
+}  // namespace
+}  // namespace vmtherm::baselines

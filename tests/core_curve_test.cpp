@@ -1,0 +1,104 @@
+// Tests for core/curve: Eq. (3) boundary conditions and shape.
+
+#include "core/curve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vmtherm::core {
+namespace {
+
+TEST(CurveTest, StartsAtPhi0) {
+  const PredefinedCurve curve(30.0, 60.0, 600.0);
+  EXPECT_DOUBLE_EQ(curve.value(0.0), 30.0);
+}
+
+TEST(CurveTest, ReachesPsiStableAtTbreak) {
+  const PredefinedCurve curve(30.0, 60.0, 600.0);
+  EXPECT_NEAR(curve.value(600.0), 60.0, 1e-9);
+}
+
+TEST(CurveTest, FlatAfterTbreak) {
+  const PredefinedCurve curve(30.0, 60.0, 600.0);
+  EXPECT_DOUBLE_EQ(curve.value(601.0), 60.0);
+  EXPECT_DOUBLE_EQ(curve.value(1e6), 60.0);
+}
+
+TEST(CurveTest, NegativeTimeClampedToStart) {
+  const PredefinedCurve curve(30.0, 60.0, 600.0);
+  EXPECT_DOUBLE_EQ(curve.value(-50.0), 30.0);
+}
+
+TEST(CurveTest, MonotonicRiseWhenHeating) {
+  const PredefinedCurve curve(30.0, 60.0, 600.0);
+  double prev = curve.value(0.0);
+  for (double t = 10.0; t <= 600.0; t += 10.0) {
+    const double v = curve.value(t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(CurveTest, MonotonicFallWhenCooling) {
+  // phi0 above psi_stable: the curve descends (VM removed, machine cools).
+  const PredefinedCurve curve(70.0, 45.0, 600.0);
+  double prev = curve.value(0.0);
+  for (double t = 10.0; t <= 600.0; t += 10.0) {
+    const double v = curve.value(t);
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+  EXPECT_NEAR(curve.value(600.0), 45.0, 1e-9);
+}
+
+TEST(CurveTest, ValuesBoundedByEndpoints) {
+  const PredefinedCurve curve(30.0, 60.0, 600.0);
+  for (double t = 0.0; t <= 900.0; t += 7.0) {
+    const double v = curve.value(t);
+    EXPECT_GE(v, 30.0 - 1e-12);
+    EXPECT_LE(v, 60.0 + 1e-12);
+  }
+}
+
+TEST(CurveTest, LogShapeIsFrontLoaded) {
+  // The log curve covers more than half the rise by half of t_break
+  // (distinctly different from linear).
+  const PredefinedCurve curve(0.0, 100.0, 600.0);
+  EXPECT_GT(curve.value(300.0), 55.0);
+}
+
+TEST(CurveTest, LargerCurvatureRisesFaster) {
+  const PredefinedCurve slow(0.0, 100.0, 600.0, 0.01);
+  const PredefinedCurve fast(0.0, 100.0, 600.0, 1.0);
+  for (double t = 50.0; t < 600.0; t += 100.0) {
+    EXPECT_GT(fast.value(t), slow.value(t)) << "t=" << t;
+  }
+}
+
+TEST(CurveTest, DegenerateFlatCurve) {
+  // phi0 == psi_stable: constant.
+  const PredefinedCurve curve(50.0, 50.0, 600.0);
+  for (double t = 0.0; t <= 700.0; t += 50.0) {
+    EXPECT_DOUBLE_EQ(curve.value(t), 50.0);
+  }
+}
+
+TEST(CurveTest, AccessorsExposeParameters) {
+  const PredefinedCurve curve(30.0, 60.0, 450.0, 0.2);
+  EXPECT_DOUBLE_EQ(curve.phi0(), 30.0);
+  EXPECT_DOUBLE_EQ(curve.psi_stable(), 60.0);
+  EXPECT_DOUBLE_EQ(curve.t_break_s(), 450.0);
+  EXPECT_DOUBLE_EQ(curve.curvature(), 0.2);
+}
+
+TEST(CurveTest, InvalidParametersRejected) {
+  EXPECT_THROW(PredefinedCurve(30.0, 60.0, 0.0), ConfigError);
+  EXPECT_THROW(PredefinedCurve(30.0, 60.0, -10.0), ConfigError);
+  EXPECT_THROW(PredefinedCurve(30.0, 60.0, 600.0, 0.0), ConfigError);
+  EXPECT_THROW(PredefinedCurve(std::nan(""), 60.0, 600.0), ConfigError);
+  EXPECT_THROW(PredefinedCurve(30.0, std::nan(""), 600.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace vmtherm::core

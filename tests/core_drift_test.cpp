@@ -1,0 +1,107 @@
+// Tests for core/drift: CUSUM residual drift detection.
+
+#include "core/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vmtherm::core {
+namespace {
+
+TEST(CusumTest, InvalidParamsRejected) {
+  EXPECT_THROW(CusumDetector(-0.1, 1.0), ConfigError);
+  EXPECT_THROW(CusumDetector(0.1, 0.0), ConfigError);
+  EXPECT_THROW(CusumDetector(0.1, -1.0), ConfigError);
+}
+
+TEST(CusumTest, NoDriftOnZeroMeanNoise) {
+  // sigma = 0.5; k = sigma/2, h = 10 sigma: with this tuning the
+  // in-control average run length is far beyond the horizon below.
+  CusumDetector detector(0.25, 5.0);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    detector.observe(rng.normal(0.0, 0.5));
+  }
+  EXPECT_FALSE(detector.drifted());
+  EXPECT_EQ(detector.observation_count(), 20000u);
+}
+
+TEST(CusumTest, DetectsPositiveMeanShift) {
+  CusumDetector detector(0.25, 5.0);
+  Rng rng(2);
+  // Clean period...
+  for (int i = 0; i < 500; ++i) detector.observe(rng.normal(0.0, 0.5));
+  ASSERT_FALSE(detector.drifted());
+  // ...then the model goes stale by +1 C.
+  bool fired = false;
+  int steps_to_fire = 0;
+  for (int i = 0; i < 200 && !fired; ++i) {
+    fired = detector.observe(rng.normal(1.0, 0.5));
+    ++steps_to_fire;
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_LT(steps_to_fire, 30);  // a 2-sigma shift fires fast
+}
+
+TEST(CusumTest, DetectsNegativeMeanShift) {
+  CusumDetector detector(0.25, 5.0);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) detector.observe(rng.normal(0.0, 0.5));
+  ASSERT_FALSE(detector.drifted());
+  bool fired = false;
+  for (int i = 0; i < 200 && !fired; ++i) {
+    fired = detector.observe(rng.normal(-1.0, 0.5));
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_GT(detector.negative_sum(), detector.positive_sum());
+}
+
+TEST(CusumTest, DriftLatchesUntilReset) {
+  CusumDetector detector(0.0, 1.0);
+  detector.observe(2.0);  // fires immediately
+  EXPECT_TRUE(detector.drifted());
+  detector.observe(0.0);
+  EXPECT_TRUE(detector.drifted());  // latched
+  detector.reset();
+  EXPECT_FALSE(detector.drifted());
+  EXPECT_EQ(detector.observation_count(), 0u);
+  EXPECT_DOUBLE_EQ(detector.positive_sum(), 0.0);
+}
+
+TEST(CusumTest, SlackAbsorbsSmallBias) {
+  // A bias smaller than the slack never accumulates.
+  CusumDetector detector(0.5, 2.0);
+  for (int i = 0; i < 10000; ++i) {
+    detector.observe(0.4);  // |bias| < slack
+  }
+  EXPECT_FALSE(detector.drifted());
+}
+
+TEST(CusumTest, AccumulatorsNonNegative) {
+  CusumDetector detector(0.1, 5.0);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    detector.observe(rng.normal(0.0, 1.0));
+    ASSERT_GE(detector.positive_sum(), 0.0);
+    ASSERT_GE(detector.negative_sum(), 0.0);
+  }
+}
+
+TEST(CusumTest, DetectionDelayScalesWithShiftSize) {
+  auto delay_for_shift = [](double shift) {
+    CusumDetector detector(0.25, 5.0);
+    Rng rng(5);
+    int steps = 0;
+    bool fired = false;
+    while (!fired && steps < 100000) {
+      fired = detector.observe(rng.normal(shift, 0.5));
+      ++steps;
+    }
+    return steps;
+  };
+  EXPECT_LT(delay_for_shift(2.0), delay_for_shift(0.6));
+}
+
+}  // namespace
+}  // namespace vmtherm::core

@@ -1,0 +1,244 @@
+// Tests for core/evaluator: corpus generation, stable/dynamic evaluation
+// and the gap x update sweep — the machinery behind Fig. 1(a)-(c).
+
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace vmtherm::core {
+namespace {
+
+sim::ScenarioRanges fast_ranges() {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1200.0;
+  ranges.sample_interval_s = 10.0;
+  return ranges;
+}
+
+const StableTemperaturePredictor& shared_predictor() {
+  static const StableTemperaturePredictor predictor = [] {
+    StableTrainOptions options;
+    ml::SvrParams params;
+    params.kernel.gamma = 1.0 / 16;
+    params.c = 256.0;
+    params.epsilon = 0.05;
+    options.fixed_params = params;
+    return StableTemperaturePredictor::train(
+        generate_corpus(fast_ranges(), 60, 21), options);
+  }();
+  return predictor;
+}
+
+TEST(GenerateCorpusTest, SizeAndDeterminism) {
+  const auto a = generate_corpus(fast_ranges(), 5, 7);
+  const auto b = generate_corpus(fast_ranges(), 5, 7);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].stable_temp_c, b[i].stable_temp_c);
+    EXPECT_DOUBLE_EQ(a[i].vm.vm_count, b[i].vm.vm_count);
+  }
+}
+
+TEST(GenerateCorpusTest, LabelsArePhysical) {
+  for (const auto& r : generate_corpus(fast_ranges(), 10, 9)) {
+    EXPECT_GT(r.stable_temp_c, r.env_temp_c);  // servers heat the air
+    EXPECT_LT(r.stable_temp_c, 120.0);
+  }
+}
+
+TEST(EvaluateStableTest, EmptyTestSetThrows) {
+  EXPECT_THROW((void)evaluate_stable(shared_predictor(), {}), DataError);
+}
+
+TEST(EvaluateStableTest, MetricsConsistentWithCases) {
+  const auto test_records = generate_corpus(fast_ranges(), 8, 33);
+  const auto result = evaluate_stable(shared_predictor(), test_records);
+  ASSERT_EQ(result.cases.size(), 8u);
+  double se = 0.0;
+  for (const auto& c : result.cases) {
+    se += (c.predicted_c - c.measured_c) * (c.predicted_c - c.measured_c);
+  }
+  EXPECT_NEAR(result.mse, se / 8.0, 1e-9);
+  EXPECT_LE(result.mae * result.mae, result.mse + 1e-9);
+  EXPECT_GE(result.max_abs_error, result.mae);
+}
+
+DynamicScenario simple_scenario(std::uint64_t seed = 100) {
+  DynamicScenario scenario;
+  scenario.base.server = sim::make_server_spec("medium");
+  sim::VmConfig vm;
+  vm.vcpus = 4;
+  vm.memory_gb = 4.0;
+  vm.task = sim::TaskType::kBatch;
+  scenario.base.vms = {vm, vm, vm};
+  scenario.base.duration_s = 1500.0;
+  scenario.base.sample_interval_s = 5.0;
+  scenario.base.active_fans = 4;
+  scenario.base.environment.base_c = 22.0;
+  scenario.base.seed = seed;
+  return scenario;
+}
+
+TEST(EvaluateDynamicTest, ProducesMatchedPredictions) {
+  DynamicEvalOptions options;
+  const auto result =
+      evaluate_dynamic(shared_predictor(), simple_scenario(), options);
+  EXPECT_FALSE(result.points.empty());
+  EXPECT_EQ(result.model_trajectory.size(), result.trace.size());
+  // Every matched point's target time lies within the run.
+  for (const auto& p : result.points) {
+    EXPECT_GE(p.target_time_s, options.gap_s - 1e-9);
+    EXPECT_LE(p.target_time_s, result.trace.duration_s() + 1e-9);
+  }
+  EXPECT_GT(result.mse, 0.0);
+}
+
+TEST(EvaluateDynamicTest, DeterministicGivenScenario) {
+  DynamicEvalOptions options;
+  const auto a =
+      evaluate_dynamic(shared_predictor(), simple_scenario(), options);
+  const auto b =
+      evaluate_dynamic(shared_predictor(), simple_scenario(), options);
+  EXPECT_DOUBLE_EQ(a.mse, b.mse);
+}
+
+TEST(EvaluateDynamicTest, CalibrationLowersMse) {
+  // The paper's Fig. 1(b) claim. Average over several scenarios so one
+  // lucky uncalibrated run cannot flip the comparison.
+  double total_cal = 0.0;
+  double total_uncal = 0.0;
+  for (std::uint64_t seed : {100, 101, 102}) {
+    DynamicEvalOptions calibrated;
+    DynamicEvalOptions uncalibrated;
+    uncalibrated.dynamic.calibration_enabled = false;
+    total_cal += evaluate_dynamic(shared_predictor(), simple_scenario(seed),
+                                  calibrated)
+                     .mse;
+    total_uncal += evaluate_dynamic(shared_predictor(),
+                                    simple_scenario(seed), uncalibrated)
+                       .mse;
+  }
+  EXPECT_LT(total_cal, total_uncal);
+}
+
+TEST(EvaluateDynamicTest, EventsChangeTheTrace) {
+  auto with_event = simple_scenario();
+  ScenarioEvent add;
+  add.kind = ScenarioEvent::Kind::kAddVm;
+  add.time_s = 600.0;
+  add.vm.vcpus = 8;
+  add.vm.memory_gb = 8.0;
+  add.vm.task = sim::TaskType::kCpuBurn;
+  with_event.events.push_back(add);
+
+  DynamicEvalOptions options;
+  const auto base =
+      evaluate_dynamic(shared_predictor(), simple_scenario(), options);
+  const auto churned =
+      evaluate_dynamic(shared_predictor(), with_event, options);
+  // The added hot VM pushes the tail temperature up.
+  const double base_tail =
+      base.trace.mean_sensed_between(1200.0, 1500.0);
+  const double churned_tail =
+      churned.trace.mean_sensed_between(1200.0, 1500.0);
+  EXPECT_GT(churned_tail, base_tail + 1.0);
+}
+
+TEST(EvaluateDynamicTest, RemoveVmEventCools) {
+  auto scenario = simple_scenario();
+  ScenarioEvent remove;
+  remove.kind = ScenarioEvent::Kind::kRemoveVm;
+  remove.time_s = 700.0;
+  remove.vm_id = "vm-0";
+  scenario.events.push_back(remove);
+
+  DynamicEvalOptions options;
+  const auto base =
+      evaluate_dynamic(shared_predictor(), simple_scenario(), options);
+  const auto result = evaluate_dynamic(shared_predictor(), scenario, options);
+  EXPECT_LT(result.trace.mean_sensed_between(1200.0, 1500.0),
+            base.trace.mean_sensed_between(1200.0, 1500.0) - 0.5);
+}
+
+TEST(EvaluateDynamicTest, SetFansEventTakesEffect) {
+  auto scenario = simple_scenario();
+  ScenarioEvent fans;
+  fans.kind = ScenarioEvent::Kind::kSetFans;
+  fans.time_s = 700.0;
+  fans.fans = 1;
+  scenario.events.push_back(fans);
+
+  DynamicEvalOptions options;
+  const auto base =
+      evaluate_dynamic(shared_predictor(), simple_scenario(), options);
+  const auto result = evaluate_dynamic(shared_predictor(), scenario, options);
+  EXPECT_GT(result.trace.mean_sensed_between(1200.0, 1500.0),
+            base.trace.mean_sensed_between(1200.0, 1500.0) + 1.0);
+}
+
+TEST(EvaluateDynamicTest, UnsortedEventsRejected) {
+  auto scenario = simple_scenario();
+  ScenarioEvent a;
+  a.time_s = 900.0;
+  ScenarioEvent b;
+  b.time_s = 300.0;
+  b.vm.task = sim::TaskType::kIdle;
+  scenario.events = {a, b};
+  EXPECT_THROW(
+      (void)evaluate_dynamic(shared_predictor(), scenario, DynamicEvalOptions{}),
+      ConfigError);
+}
+
+TEST(EvaluateDynamicTest, InvalidGapRejected) {
+  DynamicEvalOptions options;
+  options.gap_s = 0.0;
+  EXPECT_THROW(
+      (void)evaluate_dynamic(shared_predictor(), simple_scenario(), options),
+      ConfigError);
+}
+
+TEST(SweepTest, ShapeMatchesInputs) {
+  const std::vector<DynamicScenario> scenarios = {simple_scenario()};
+  const std::vector<double> gaps = {30.0, 60.0};
+  const std::vector<double> updates = {15.0, 30.0, 60.0};
+  const auto grid = sweep_gap_update(shared_predictor(), scenarios, gaps,
+                                     updates, DynamicOptions{});
+  ASSERT_EQ(grid.size(), 2u);
+  for (const auto& row : grid) {
+    ASSERT_EQ(row.size(), 3u);
+    for (double v : row) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(SweepTest, EmptyInputsRejected) {
+  EXPECT_THROW((void)sweep_gap_update(shared_predictor(), {}, {60.0}, {15.0},
+                                      DynamicOptions{}),
+               ConfigError);
+  EXPECT_THROW(
+      (void)sweep_gap_update(shared_predictor(), {simple_scenario()}, {},
+                             {15.0}, DynamicOptions{}),
+      ConfigError);
+}
+
+TEST(MakeRandomDynamicScenarioTest, WellFormed) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const auto scenario =
+        make_random_dynamic_scenario(fast_ranges(), 4, seed);
+    EXPECT_NO_THROW(scenario.base.validate());
+    EXPECT_EQ(scenario.base.active_fans, 4);
+    EXPECT_FALSE(scenario.events.empty());
+    for (std::size_t i = 1; i < scenario.events.size(); ++i) {
+      EXPECT_LE(scenario.events[i - 1].time_s, scenario.events[i].time_s);
+    }
+  }
+}
+
+TEST(MakeRandomDynamicScenarioTest, RunsEndToEnd) {
+  const auto scenario = make_random_dynamic_scenario(fast_ranges(), 4, 5);
+  DynamicEvalOptions options;
+  const auto result = evaluate_dynamic(shared_predictor(), scenario, options);
+  EXPECT_FALSE(result.points.empty());
+}
+
+}  // namespace
+}  // namespace vmtherm::core

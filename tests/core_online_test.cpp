@@ -1,0 +1,161 @@
+// Tests for core/online: the deploy-observe-retrain loop.
+
+#include "core/online.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluator.h"
+
+namespace vmtherm::core {
+namespace {
+
+OnlineTrainerOptions fast_options(std::size_t min_records = 20,
+                                  std::size_t batch = 20) {
+  OnlineTrainerOptions options;
+  options.min_records_for_training = min_records;
+  options.retrain_batch = batch;
+  options.retrain_on_drift = false;  // drift tests opt in explicitly
+  ml::SvrParams params;
+  params.kernel.gamma = 1.0 / 32;
+  params.c = 512.0;
+  params.epsilon = 0.05;
+  options.train_options.fixed_params = params;
+  return options;
+}
+
+std::vector<Record> corpus(std::size_t n, std::uint64_t seed,
+                           double resistance_scale = 1.0) {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1200.0;
+  ranges.sample_interval_s = 10.0;
+  sim::ScenarioSampler sampler(ranges, seed);
+  auto configs = sampler.sample(n);
+  for (auto& config : configs) {
+    config.server.thermal.sink_to_ambient_resistance *= resistance_scale;
+  }
+  return profile_experiments(configs);
+}
+
+TEST(OnlineTrainerTest, OptionValidation) {
+  OnlineTrainerOptions options = fast_options();
+  options.min_records_for_training = 1;
+  EXPECT_THROW(OnlineTrainer{options}, ConfigError);
+  options = fast_options();
+  options.retrain_batch = 0;
+  EXPECT_THROW(OnlineTrainer{options}, ConfigError);
+}
+
+TEST(OnlineTrainerTest, NoModelBeforeMinRecords) {
+  OnlineTrainer trainer(fast_options(20));
+  const auto records = corpus(19, 1);
+  for (const auto& r : records) {
+    EXPECT_FALSE(trainer.add_record(r));
+  }
+  EXPECT_FALSE(trainer.has_model());
+  EXPECT_THROW((void)trainer.model(), ConfigError);
+  EXPECT_EQ(trainer.model_version(), 0u);
+}
+
+TEST(OnlineTrainerTest, InitialFitAtThreshold) {
+  OnlineTrainer trainer(fast_options(20));
+  const auto records = corpus(20, 2);
+  bool retrained = false;
+  for (const auto& r : records) retrained = trainer.add_record(r);
+  EXPECT_TRUE(retrained);
+  EXPECT_TRUE(trainer.has_model());
+  EXPECT_EQ(trainer.model_version(), 1u);
+  EXPECT_EQ(trainer.last_retrain_reason(), RetrainReason::kInitial);
+}
+
+TEST(OnlineTrainerTest, BatchRetrainsIncrementVersion) {
+  OnlineTrainer trainer(fast_options(20, 10));
+  const auto records = corpus(50, 3);
+  for (const auto& r : records) trainer.add_record(r);
+  // Fit at 20, then retrains at 30, 40, 50.
+  EXPECT_EQ(trainer.model_version(), 4u);
+  EXPECT_EQ(trainer.last_retrain_reason(), RetrainReason::kBatch);
+  EXPECT_EQ(trainer.records_seen(), 50u);
+}
+
+TEST(OnlineTrainerTest, PrequentialTracksLiveModel) {
+  OnlineTrainer trainer(fast_options(30, 1000));
+  const auto records = corpus(60, 4);
+  for (const auto& r : records) trainer.add_record(r);
+  // 30 records scored prequentially after the fit at 30.
+  EXPECT_EQ(trainer.prequential_count(), 30u);
+  EXPECT_GT(trainer.prequential_mse(), 0.0);
+  EXPECT_LT(trainer.prequential_mse(), 25.0);
+}
+
+TEST(OnlineTrainerTest, DriftTriggersEarlyRetrain) {
+  auto options = fast_options(30, 1000);  // batch would never fire
+  options.retrain_on_drift = true;
+  options.drift_slack_c = 0.5;
+  options.drift_threshold_c = 8.0;
+  OnlineTrainer trainer(options);
+
+  for (const auto& r : corpus(30, 5)) trainer.add_record(r);
+  ASSERT_EQ(trainer.model_version(), 1u);
+
+  // The datacenter changes: heatsinks degrade 40%. Residuals shift, the
+  // detector fires, the trainer refits on a buffer that now includes the
+  // new regime.
+  bool drift_retrain = false;
+  for (const auto& r : corpus(40, 6, /*resistance_scale=*/1.4)) {
+    if (trainer.add_record(r) &&
+        trainer.last_retrain_reason() == RetrainReason::kDrift) {
+      drift_retrain = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(drift_retrain);
+  EXPECT_GE(trainer.model_version(), 2u);
+}
+
+TEST(OnlineTrainerTest, DriftPendingObservableWhenAutoRetrainOff) {
+  auto options = fast_options(30, 100000);
+  options.retrain_on_drift = false;
+  OnlineTrainer trainer(options);
+  for (const auto& r : corpus(30, 7)) trainer.add_record(r);
+  for (const auto& r : corpus(40, 8, 1.4)) trainer.add_record(r);
+  EXPECT_TRUE(trainer.drift_pending());
+  EXPECT_EQ(trainer.model_version(), 1u);  // never retrained
+}
+
+TEST(OnlineTrainerTest, SlidingWindowCapsBuffer) {
+  auto options = fast_options(20, 10);
+  options.max_records = 25;
+  OnlineTrainer trainer(options);
+  for (const auto& r : corpus(60, 9)) trainer.add_record(r);
+  EXPECT_LE(trainer.buffered_records(), 25u);
+  EXPECT_TRUE(trainer.has_model());
+}
+
+TEST(OnlineTrainerTest, RetrainedModelAdaptsToNewRegime) {
+  // After drift-retraining on the changed testbed, held-out error on the
+  // new regime should be much lower than the stale model's error.
+  auto options = fast_options(40, 100000);
+  options.retrain_on_drift = true;
+  options.max_records = 80;  // window: old records age out
+  OnlineTrainer trainer(options);
+  for (const auto& r : corpus(40, 10)) trainer.add_record(r);
+  const auto stale = trainer.model();
+
+  for (const auto& r : corpus(80, 11, 1.4)) trainer.add_record(r);
+  ASSERT_GE(trainer.model_version(), 2u);
+  const auto& fresh = trainer.model();
+
+  const auto held_out = corpus(25, 12, 1.4);
+  double se_stale = 0.0;
+  double se_fresh = 0.0;
+  for (const auto& r : held_out) {
+    se_stale += std::pow(stale.predict(r) - r.stable_temp_c, 2);
+    se_fresh += std::pow(fresh.predict(r) - r.stable_temp_c, 2);
+  }
+  EXPECT_LT(se_fresh, se_stale);
+}
+
+}  // namespace
+}  // namespace vmtherm::core

@@ -1,0 +1,125 @@
+// Tests for core/profiler: Eq. (1) and stability diagnostics.
+
+#include "core/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vmtherm::core {
+namespace {
+
+sim::TemperatureTrace synthetic_trace(double duration_s, double interval_s,
+                                      double (*temp_at)(double)) {
+  sim::TemperatureTrace trace(interval_s);
+  for (double t = 0.0; t <= duration_s + 1e-9; t += interval_s) {
+    sim::TracePoint p;
+    p.time_s = t;
+    p.cpu_temp_sensed_c = temp_at(t);
+    p.cpu_temp_true_c = temp_at(t);
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+double step_to_60(double t) { return t < 600.0 ? 30.0 + t / 20.0 : 60.0; }
+double always_55(double) { return 55.0; }
+
+TEST(StableTemperatureTest, AveragesPastTbreak) {
+  const auto trace = synthetic_trace(1200.0, 5.0, step_to_60);
+  EXPECT_DOUBLE_EQ(stable_temperature(trace, 600.0), 60.0);
+}
+
+TEST(StableTemperatureTest, ConstantTraceReturnsConstant) {
+  const auto trace = synthetic_trace(1200.0, 5.0, always_55);
+  EXPECT_DOUBLE_EQ(stable_temperature(trace), 55.0);
+}
+
+TEST(StableTemperatureTest, DefaultTbreakIs600s) {
+  EXPECT_DOUBLE_EQ(kDefaultTbreakS, 600.0);
+}
+
+TEST(StableTemperatureTest, ShortTraceThrows) {
+  const auto trace = synthetic_trace(500.0, 5.0, always_55);
+  EXPECT_THROW((void)stable_temperature(trace, 600.0), DataError);
+  sim::TemperatureTrace empty;
+  EXPECT_THROW((void)stable_temperature(empty, 600.0), DataError);
+}
+
+TEST(StableTemperatureTest, CustomTbreakChangesWindow) {
+  // Ramp from 0 to 100 over [0, 1000]: mean over [t_break, 1000] depends on
+  // t_break.
+  const auto trace = synthetic_trace(1000.0, 10.0, [](double t) {
+    return t / 10.0;
+  });
+  const double late = stable_temperature(trace, 900.0);
+  const double early = stable_temperature(trace, 100.0);
+  EXPECT_GT(late, early);
+  EXPECT_NEAR(late, 95.0, 1e-9);
+  EXPECT_NEAR(early, 55.0, 1e-9);
+}
+
+TEST(ProfileTraceTest, StableTraceReportedStable) {
+  const auto trace = synthetic_trace(1500.0, 5.0, step_to_60);
+  const auto report = profile_trace(trace);
+  EXPECT_TRUE(report.stable);
+  EXPECT_DOUBLE_EQ(report.psi_stable, 60.0);
+  EXPECT_LT(report.window_stddev_c, 0.01);
+  // Temperature enters the +-1 band of 60 at t = 580 (30 + t/20 = 59).
+  EXPECT_NEAR(report.settling_time_s, 580.0, 10.0);
+}
+
+TEST(ProfileTraceTest, NoisyTraceReportedUnstable) {
+  const auto trace = synthetic_trace(1500.0, 5.0, [](double t) {
+    return 50.0 + 5.0 * std::sin(t / 30.0);
+  });
+  ProfilerOptions options;
+  options.stability_stddev_c = 0.8;
+  const auto report = profile_trace(trace, options);
+  EXPECT_FALSE(report.stable);
+  EXPECT_GT(report.window_stddev_c, 2.0);
+}
+
+TEST(ProfileTraceTest, ConstantTraceSettlesImmediately) {
+  const auto trace = synthetic_trace(1200.0, 5.0, always_55);
+  const auto report = profile_trace(trace);
+  EXPECT_DOUBLE_EQ(report.settling_time_s, 0.0);
+}
+
+TEST(ProfileExperimentTest, LabelsRecordFromSimulation) {
+  sim::ExperimentConfig config;
+  config.server = sim::make_server_spec("medium");
+  sim::VmConfig vm;
+  vm.vcpus = 4;
+  vm.memory_gb = 4.0;
+  vm.task = sim::TaskType::kCpuBurn;
+  config.vms = {vm, vm};
+  config.duration_s = 1500.0;
+  config.active_fans = 4;
+  config.environment.base_c = 22.0;
+  config.seed = 5;
+
+  const Record record = profile_experiment(config);
+  EXPECT_DOUBLE_EQ(record.cpu_capacity_ghz, config.server.cpu_capacity_ghz());
+  EXPECT_DOUBLE_EQ(record.vm.vm_count, 2.0);
+  // Two cpu-burn VMs on a medium box at 22 C ambient: comfortably warmer
+  // than ambient, well below boiling.
+  EXPECT_GT(record.stable_temp_c, 30.0);
+  EXPECT_LT(record.stable_temp_c, 90.0);
+}
+
+TEST(ProfileExperimentsTest, BatchMatchesIndividual) {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1200.0;
+  sim::ScenarioSampler sampler(ranges, 9);
+  const auto configs = sampler.sample(3);
+  const auto batch = profile_experiments(configs);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Record single = profile_experiment(configs[i]);
+    EXPECT_DOUBLE_EQ(batch[i].stable_temp_c, single.stable_temp_c);
+  }
+}
+
+}  // namespace
+}  // namespace vmtherm::core

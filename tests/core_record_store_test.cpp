@@ -1,0 +1,167 @@
+// Tests for core/record_store: CSV round-trip of Eq. (2) corpora.
+
+#include "core/record_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/evaluator.h"
+#include "util/csv.h"
+
+namespace vmtherm::core {
+namespace {
+
+std::vector<Record> sample_records() {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1200.0;
+  ranges.sample_interval_s = 10.0;
+  return generate_corpus(ranges, 6, 321);
+}
+
+TEST(RecordStoreTest, RoundTripPreservesEverything) {
+  const auto records = sample_records();
+  std::stringstream ss;
+  write_records_csv(ss, records);
+  const auto loaded = read_records_csv(ss);
+
+  ASSERT_EQ(loaded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_NEAR(loaded[i].cpu_capacity_ghz, records[i].cpu_capacity_ghz, 1e-9);
+    EXPECT_NEAR(loaded[i].physical_cores, records[i].physical_cores, 1e-9);
+    EXPECT_NEAR(loaded[i].memory_gb, records[i].memory_gb, 1e-9);
+    EXPECT_NEAR(loaded[i].fan_count, records[i].fan_count, 1e-9);
+    EXPECT_NEAR(loaded[i].env_temp_c, records[i].env_temp_c, 1e-9);
+    EXPECT_NEAR(loaded[i].vm.vm_count, records[i].vm.vm_count, 1e-9);
+    EXPECT_NEAR(loaded[i].vm.total_vcpus, records[i].vm.total_vcpus, 1e-9);
+    EXPECT_NEAR(loaded[i].vm.total_memory_gb, records[i].vm.total_memory_gb,
+                1e-9);
+    EXPECT_NEAR(loaded[i].vm.active_memory_gb, records[i].vm.active_memory_gb,
+                1e-9);
+    EXPECT_NEAR(loaded[i].vm.mean_util_demand, records[i].vm.mean_util_demand,
+                1e-9);
+    EXPECT_NEAR(loaded[i].vm.max_util_demand, records[i].vm.max_util_demand,
+                1e-9);
+    EXPECT_NEAR(loaded[i].vm.demanded_cores, records[i].vm.demanded_cores,
+                1e-9);
+    for (std::size_t t = 0; t < sim::kTaskTypeCount; ++t) {
+      EXPECT_NEAR(loaded[i].vm.task_share[t], records[i].vm.task_share[t],
+                  1e-9);
+    }
+    EXPECT_NEAR(loaded[i].stable_temp_c, records[i].stable_temp_c, 1e-9);
+  }
+}
+
+TEST(RecordStoreTest, RoundTripPreservesFeatureVectors) {
+  // The ML pipeline consumes to_feature_vector; round-tripped records must
+  // encode to (numerically) identical features.
+  const auto records = sample_records();
+  std::stringstream ss;
+  write_records_csv(ss, records);
+  const auto loaded = read_records_csv(ss);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto a = to_feature_vector(records[i]);
+    const auto b = to_feature_vector(loaded[i]);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_NEAR(a[j], b[j], 1e-9);
+    }
+  }
+}
+
+TEST(RecordStoreTest, EmptyCorpusWritesHeaderOnly) {
+  std::stringstream ss;
+  write_records_csv(ss, {});
+  const auto loaded = read_records_csv(ss);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(RecordStoreTest, ColumnOrderIndependent) {
+  // Shuffle columns: read must match by name.
+  std::stringstream ss;
+  write_records_csv(ss, sample_records());
+  std::string text = ss.str();
+  // Swap the first two header names AND the first two data fields of every
+  // row consistently by round-tripping through the csv module.
+  std::istringstream in(text);
+  auto doc = read_csv(in);
+  std::swap(doc.header[0], doc.header[3]);
+  for (auto& row : doc.rows) std::swap(row[0], row[3]);
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row(doc.header);
+  for (const auto& row : doc.rows) writer.write_row(row);
+
+  std::istringstream shuffled(out.str());
+  const auto loaded = read_records_csv(shuffled);
+  const auto original = sample_records();
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_NEAR(loaded[0].cpu_capacity_ghz, original[0].cpu_capacity_ghz, 1e-9);
+  EXPECT_NEAR(loaded[0].fan_count, original[0].fan_count, 1e-9);
+}
+
+TEST(RecordStoreTest, MissingColumnThrows) {
+  std::istringstream in("cpu_capacity_ghz\n38.4\n");
+  EXPECT_THROW((void)read_records_csv(in), IoError);
+}
+
+TEST(RecordStoreTest, BadNumberThrows) {
+  std::stringstream ss;
+  write_records_csv(ss, sample_records());
+  std::string text = ss.str();
+  const auto pos = text.find('\n') + 1;  // first data row
+  const auto end = text.find(',', pos);
+  text.replace(pos, end - pos, "not_a_number");
+  std::istringstream in(text);
+  EXPECT_THROW((void)read_records_csv(in), IoError);
+}
+
+TEST(RecordStoreTest, FileRoundTrip) {
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "vmtherm_record_store_test.csv")
+                        .string();
+  const auto records = sample_records();
+  write_records_csv_file(path, records);
+  const auto loaded = read_records_csv_file(path);
+  EXPECT_EQ(loaded.size(), records.size());
+  std::filesystem::remove(path);
+}
+
+TEST(RecordStoreTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_records_csv_file("/nonexistent/records.csv"),
+               IoError);
+  EXPECT_THROW(write_records_csv_file("/nonexistent/dir/records.csv", {}),
+               IoError);
+}
+
+TEST(RecordStoreTest, TrainingFromPersistedCorpusWorks) {
+  // The deployment story: profile -> persist -> train offline from file.
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "vmtherm_record_store_train.csv")
+                        .string();
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1200.0;
+  ranges.sample_interval_s = 10.0;
+  write_records_csv_file(path, generate_corpus(ranges, 40, 99));
+
+  const auto loaded = read_records_csv_file(path);
+  StableTrainOptions options;
+  ml::SvrParams params;
+  params.kernel.gamma = 1.0 / 16;
+  params.c = 256.0;
+  params.epsilon = 0.05;
+  options.fixed_params = params;
+  const auto predictor = StableTemperaturePredictor::train(loaded, options);
+  // Sanity: in-sample predictions are close.
+  double se = 0.0;
+  for (const auto& r : loaded) {
+    se += (predictor.predict(r) - r.stable_temp_c) *
+          (predictor.predict(r) - r.stable_temp_c);
+  }
+  EXPECT_LT(se / static_cast<double>(loaded.size()), 3.0);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace vmtherm::core

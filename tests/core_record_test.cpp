@@ -1,0 +1,126 @@
+// Tests for core/record: Eq. (2) feature encoding.
+
+#include "core/record.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace vmtherm::core {
+namespace {
+
+std::vector<sim::VmConfig> mixed_vms() {
+  sim::VmConfig a;
+  a.vcpus = 2;
+  a.memory_gb = 4.0;
+  a.task = sim::TaskType::kCpuBurn;
+  sim::VmConfig b;
+  b.vcpus = 4;
+  b.memory_gb = 8.0;
+  b.task = sim::TaskType::kIdle;
+  sim::VmConfig c;
+  c.vcpus = 1;
+  c.memory_gb = 2.0;
+  c.task = sim::TaskType::kCpuBurn;
+  return {a, b, c};
+}
+
+TEST(VmSetFeaturesTest, EmptySetIsAllZero) {
+  const auto f = make_vm_set_features({});
+  EXPECT_DOUBLE_EQ(f.vm_count, 0.0);
+  EXPECT_DOUBLE_EQ(f.total_vcpus, 0.0);
+  EXPECT_DOUBLE_EQ(f.total_memory_gb, 0.0);
+  EXPECT_DOUBLE_EQ(f.mean_util_demand, 0.0);
+  for (double share : f.task_share) EXPECT_DOUBLE_EQ(share, 0.0);
+}
+
+TEST(VmSetFeaturesTest, AggregatesResources) {
+  const auto f = make_vm_set_features(mixed_vms());
+  EXPECT_DOUBLE_EQ(f.vm_count, 3.0);
+  EXPECT_DOUBLE_EQ(f.total_vcpus, 7.0);
+  EXPECT_DOUBLE_EQ(f.total_memory_gb, 14.0);
+}
+
+TEST(VmSetFeaturesTest, UtilizationDemandAggregates) {
+  const auto f = make_vm_set_features(mixed_vms());
+  const double burn = sim::task_type_mean_utilization(sim::TaskType::kCpuBurn);
+  const double idle = sim::task_type_mean_utilization(sim::TaskType::kIdle);
+  EXPECT_NEAR(f.mean_util_demand, (2.0 * burn + idle) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.max_util_demand, burn);
+  EXPECT_NEAR(f.demanded_cores, burn * 2 + idle * 4 + burn * 1, 1e-12);
+}
+
+TEST(VmSetFeaturesTest, TaskSharesSumToOne) {
+  const auto f = make_vm_set_features(mixed_vms());
+  const double total = std::accumulate(f.task_share.begin(),
+                                       f.task_share.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // 2/3 cpu_burn, 1/3 idle.
+  EXPECT_NEAR(f.task_share[static_cast<std::size_t>(sim::TaskType::kCpuBurn)],
+              2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f.task_share[static_cast<std::size_t>(sim::TaskType::kIdle)],
+              1.0 / 3.0, 1e-12);
+}
+
+TEST(RecordTest, MakeRecordInputsCopiesServerFacts) {
+  const auto server = sim::make_server_spec("medium");
+  const Record r = make_record_inputs(server, mixed_vms(), 3, 24.5);
+  EXPECT_DOUBLE_EQ(r.cpu_capacity_ghz, server.cpu_capacity_ghz());
+  EXPECT_DOUBLE_EQ(r.memory_gb, server.memory_gb);
+  EXPECT_DOUBLE_EQ(r.fan_count, 3.0);
+  EXPECT_DOUBLE_EQ(r.env_temp_c, 24.5);
+  EXPECT_DOUBLE_EQ(r.stable_temp_c, 0.0);  // unlabeled
+}
+
+TEST(RecordTest, FeatureVectorHasDeclaredLength) {
+  const auto server = sim::make_server_spec("small");
+  const Record r = make_record_inputs(server, mixed_vms(), 2, 20.0);
+  const auto x = to_feature_vector(r);
+  EXPECT_EQ(x.size(), kRecordFeatureCount);
+  EXPECT_EQ(feature_names().size(), kRecordFeatureCount);
+}
+
+TEST(RecordTest, FeatureVectorOrderMatchesNames) {
+  const auto server = sim::make_server_spec("medium");
+  const Record r = make_record_inputs(server, mixed_vms(), 5, 27.0);
+  const auto x = to_feature_vector(r);
+  const auto& names = feature_names();
+
+  auto index_of = [&](const std::string& name) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return i;
+    }
+    ADD_FAILURE() << "missing feature name " << name;
+    return std::size_t{0};
+  };
+
+  EXPECT_DOUBLE_EQ(x[index_of("cpu_capacity_ghz")], server.cpu_capacity_ghz());
+  EXPECT_DOUBLE_EQ(x[index_of("memory_gb")], server.memory_gb);
+  EXPECT_DOUBLE_EQ(x[index_of("fan_count")], 5.0);
+  EXPECT_DOUBLE_EQ(x[index_of("env_temp_c")], 27.0);
+  EXPECT_DOUBLE_EQ(x[index_of("vm_count")], 3.0);
+  EXPECT_DOUBLE_EQ(x[index_of("total_vcpus")], 7.0);
+  EXPECT_DOUBLE_EQ(x[index_of("share_cpu_burn")], 2.0 / 3.0);
+}
+
+TEST(RecordTest, FeatureNamesAreUnique) {
+  const auto& names = feature_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST(RecordTest, DifferentMixesProduceDifferentFeatures) {
+  const auto server = sim::make_server_spec("medium");
+  auto vms_a = mixed_vms();
+  auto vms_b = mixed_vms();
+  vms_b[0].task = sim::TaskType::kMemoryBound;
+  const auto xa = to_feature_vector(make_record_inputs(server, vms_a, 4, 22.0));
+  const auto xb = to_feature_vector(make_record_inputs(server, vms_b, 4, 22.0));
+  EXPECT_NE(xa, xb);
+}
+
+}  // namespace
+}  // namespace vmtherm::core

@@ -1,0 +1,135 @@
+// Tests for core/tbreak: settling analysis and the data-driven t_break
+// recommendation (the paper's "600 s deduced from experiments").
+
+#include "core/tbreak.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vmtherm::core {
+namespace {
+
+sim::TemperatureTrace synthetic(double duration_s, double interval_s,
+                                double (*f)(double)) {
+  sim::TemperatureTrace trace(interval_s);
+  for (double t = 0.0; t <= duration_s + 1e-9; t += interval_s) {
+    sim::TracePoint p;
+    p.time_s = t;
+    p.cpu_temp_sensed_c = f(t);
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+double const_50(double) { return 50.0; }
+double ramp_then_flat(double t) { return t < 400.0 ? 30.0 + t / 20.0 : 50.0; }
+double never_settles(double t) { return 30.0 + t / 50.0; }
+
+TEST(AnalyzeSettlingTest, ConstantTraceSettlesImmediately) {
+  const auto analysis = analyze_settling(synthetic(1000.0, 10.0, const_50));
+  EXPECT_TRUE(analysis.settled);
+  EXPECT_DOUBLE_EQ(analysis.settling_time_s, 0.0);
+  EXPECT_NEAR(analysis.final_value_c, 50.0, 1e-9);
+}
+
+TEST(AnalyzeSettlingTest, RampSettlesWhenEnteringBand) {
+  // Enters the +-1 C band of 50 at t=380 (30 + 380/20 = 49).
+  const auto analysis =
+      analyze_settling(synthetic(1200.0, 10.0, ramp_then_flat), 1.0);
+  EXPECT_TRUE(analysis.settled);
+  EXPECT_NEAR(analysis.settling_time_s, 380.0, 15.0);
+}
+
+TEST(AnalyzeSettlingTest, WiderBandSettlesEarlier) {
+  const auto narrow =
+      analyze_settling(synthetic(1200.0, 10.0, ramp_then_flat), 0.5);
+  const auto wide =
+      analyze_settling(synthetic(1200.0, 10.0, ramp_then_flat), 5.0);
+  EXPECT_LT(wide.settling_time_s, narrow.settling_time_s);
+}
+
+TEST(AnalyzeSettlingTest, UnsettledTraceFlagged) {
+  const auto analysis =
+      analyze_settling(synthetic(1000.0, 10.0, never_settles), 0.5);
+  EXPECT_FALSE(analysis.settled);
+  EXPECT_DOUBLE_EQ(analysis.settling_time_s, 1000.0);
+}
+
+TEST(AnalyzeSettlingTest, TooShortTraceThrows) {
+  sim::TemperatureTrace trace(1.0);
+  for (int i = 0; i < 5; ++i) {
+    sim::TracePoint p;
+    p.time_s = i;
+    trace.push_back(p);
+  }
+  EXPECT_THROW((void)analyze_settling(trace), DataError);
+}
+
+TEST(AnalyzeSettlingTest, InvalidBandThrows) {
+  const auto trace = synthetic(1000.0, 10.0, const_50);
+  EXPECT_THROW((void)analyze_settling(trace, 0.0), ConfigError);
+  EXPECT_THROW((void)analyze_settling(trace, -1.0), ConfigError);
+}
+
+TEST(StudyTbreakTest, RecommendsSensibleTbreakForTestbed) {
+  // The headline reproduction: on experiments like the paper's (mixed VM
+  // counts, 4 fans), the 90th-percentile settling time should be in the
+  // few-hundred-seconds range that motivates the paper's 600 s choice.
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1800.0;
+  ranges.sample_interval_s = 10.0;
+  ranges.min_fans = 4;
+  ranges.max_fans = 4;
+  ranges.dynamic_env_probability = 0.0;  // settling is about the machine,
+                                         // not a moving room temperature
+  sim::ScenarioSampler sampler(ranges, 13);
+  // +-2 C stability band: reasonable at the 40-85 C operating range.
+  const auto study = study_t_break(sampler.sample(12), 2.0, 0.9);
+
+  EXPECT_EQ(study.settling_times_s.size(), 12u);
+  EXPECT_GT(study.recommended_t_break_s, 200.0);
+  EXPECT_LT(study.recommended_t_break_s, 900.0);
+}
+
+TEST(StudyTbreakTest, FewerFansSettleSlower) {
+  sim::ScenarioRanges base;
+  base.duration_s = 2400.0;
+  base.sample_interval_s = 10.0;
+  base.dynamic_env_probability = 0.0;
+
+  auto study_with_fans = [&](int fans) {
+    sim::ScenarioRanges ranges = base;
+    ranges.min_fans = fans;
+    ranges.max_fans = fans;
+    sim::ScenarioSampler sampler(ranges, 17);
+    return study_t_break(sampler.sample(8), 2.0, 0.5);
+  };
+  // Fewer fans -> larger sink-to-ambient resistance -> slower time
+  // constant -> later settling (median).
+  EXPECT_GT(study_with_fans(1).recommended_t_break_s,
+            study_with_fans(6).recommended_t_break_s);
+}
+
+TEST(StudyTbreakTest, SettlingTimesSorted) {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1500.0;
+  ranges.sample_interval_s = 10.0;
+  sim::ScenarioSampler sampler(ranges, 19);
+  const auto study = study_t_break(sampler.sample(6), 1.0, 0.9);
+  for (std::size_t i = 1; i < study.settling_times_s.size(); ++i) {
+    EXPECT_LE(study.settling_times_s[i - 1], study.settling_times_s[i]);
+  }
+}
+
+TEST(StudyTbreakTest, InvalidInputsThrow) {
+  EXPECT_THROW((void)study_t_break({}, 1.0, 0.9), ConfigError);
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1200.0;
+  sim::ScenarioSampler sampler(ranges, 3);
+  const auto configs = sampler.sample(2);
+  EXPECT_THROW((void)study_t_break(configs, 1.0, 1.5), ConfigError);
+}
+
+}  // namespace
+}  // namespace vmtherm::core

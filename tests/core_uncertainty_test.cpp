@@ -1,0 +1,118 @@
+// Tests for core/uncertainty: split-conformal prediction intervals.
+
+#include "core/uncertainty.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+
+namespace vmtherm::core {
+namespace {
+
+struct Fixture {
+  std::vector<Record> train;
+  std::vector<Record> calibration;
+  std::vector<Record> test;
+  StableTemperaturePredictor predictor;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    sim::ScenarioRanges ranges;
+    ranges.duration_s = 1200.0;
+    ranges.sample_interval_s = 10.0;
+    StableTrainOptions options;
+    ml::SvrParams params;
+    params.kernel.gamma = 1.0 / 32;
+    params.c = 512.0;
+    params.epsilon = 0.05;
+    options.fixed_params = params;
+    auto train = generate_corpus(ranges, 150, 91);
+    auto predictor = StableTemperaturePredictor::train(train, options);
+    return Fixture{std::move(train), generate_corpus(ranges, 60, 92),
+                   generate_corpus(ranges, 80, 93), std::move(predictor)};
+  }();
+  return f;
+}
+
+TEST(ConformalTest, EmptyCalibrationThrows) {
+  EXPECT_THROW(ConformalPredictor(fixture().predictor, {}), DataError);
+}
+
+TEST(ConformalTest, InvalidAlphaThrows) {
+  const ConformalPredictor conformal(fixture().predictor,
+                                     fixture().calibration);
+  EXPECT_THROW((void)conformal.quantile_c(0.0), ConfigError);
+  EXPECT_THROW((void)conformal.quantile_c(1.0), ConfigError);
+  EXPECT_THROW((void)conformal.interval(fixture().test[0], -0.5), ConfigError);
+}
+
+TEST(ConformalTest, IntervalCenteredOnPrediction) {
+  const ConformalPredictor conformal(fixture().predictor,
+                                     fixture().calibration);
+  const auto interval = conformal.interval(fixture().test[0], 0.1);
+  EXPECT_DOUBLE_EQ(interval.prediction_c,
+                   fixture().predictor.predict(fixture().test[0]));
+  EXPECT_NEAR(interval.prediction_c - interval.lower_c,
+              interval.upper_c - interval.prediction_c, 1e-12);
+  EXPECT_GT(interval.half_width_c(), 0.0);
+}
+
+TEST(ConformalTest, SmallerAlphaWiderInterval) {
+  const ConformalPredictor conformal(fixture().predictor,
+                                     fixture().calibration);
+  EXPECT_GE(conformal.quantile_c(0.05), conformal.quantile_c(0.2));
+  EXPECT_GE(conformal.quantile_c(0.2), conformal.quantile_c(0.5));
+}
+
+TEST(ConformalTest, CoverageOnHeldOutData) {
+  // The split-conformal guarantee: coverage >= 1 - alpha (in expectation
+  // over calibration/test draws; we allow a finite-sample slack).
+  const ConformalPredictor conformal(fixture().predictor,
+                                     fixture().calibration);
+  for (double alpha : {0.1, 0.2}) {
+    std::size_t covered = 0;
+    for (const auto& r : fixture().test) {
+      if (conformal.interval(r, alpha).contains(r.stable_temp_c)) ++covered;
+    }
+    const double coverage =
+        static_cast<double>(covered) / static_cast<double>(fixture().test.size());
+    EXPECT_GE(coverage, 1.0 - alpha - 0.08) << "alpha=" << alpha;
+  }
+}
+
+TEST(ConformalTest, IntervalsAreUseful) {
+  // Not vacuous: the 90% interval should be much narrower than the label
+  // spread (tens of degrees).
+  const ConformalPredictor conformal(fixture().predictor,
+                                     fixture().calibration);
+  EXPECT_LT(conformal.quantile_c(0.1), 8.0);
+}
+
+TEST(ConformalTest, CalibrationSizeReported) {
+  const ConformalPredictor conformal(fixture().predictor,
+                                     fixture().calibration);
+  EXPECT_EQ(conformal.calibration_size(), fixture().calibration.size());
+}
+
+TEST(ConformalTest, KnownResidualQuantile) {
+  // Hand-check the rank arithmetic with a tiny synthetic calibration whose
+  // residuals are 1..10: alpha=0.2, n=10 -> rank ceil(11*0.8)=9 -> 9.0.
+  // Build records whose labels are prediction + i.
+  const auto& p = fixture().predictor;
+  std::vector<Record> calibration;
+  for (int i = 1; i <= 10; ++i) {
+    Record r = fixture().calibration[0];
+    r.stable_temp_c = p.predict(r) + static_cast<double>(i);
+    calibration.push_back(r);
+  }
+  const ConformalPredictor conformal(p, calibration);
+  EXPECT_DOUBLE_EQ(conformal.quantile_c(0.2), 9.0);
+  // alpha=0.5 -> rank ceil(11*0.5)=6 -> residual 6.
+  EXPECT_DOUBLE_EQ(conformal.quantile_c(0.5), 6.0);
+  // Very small alpha clamps to the max residual.
+  EXPECT_DOUBLE_EQ(conformal.quantile_c(0.01), 10.0);
+}
+
+}  // namespace
+}  // namespace vmtherm::core

@@ -1,0 +1,168 @@
+// Tests for mgmt/autopilot: the closed thermal control loop on a live
+// simulated cluster.
+
+#include "mgmt/autopilot.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+
+namespace vmtherm::mgmt {
+namespace {
+
+core::StableTemperaturePredictor make_predictor() {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1200.0;
+  ranges.sample_interval_s = 10.0;
+  core::StableTrainOptions options;
+  ml::SvrParams params;
+  params.kernel.gamma = 1.0 / 32;
+  params.c = 512.0;
+  params.epsilon = 0.05;
+  options.fixed_params = params;
+  return core::StableTemperaturePredictor::train(
+      core::generate_corpus(ranges, 150, 74), options);
+}
+
+/// A cluster with one overloaded host and two idle ones.
+sim::Cluster make_hot_cluster() {
+  sim::EnvironmentSpec env;
+  env.base_c = 23.0;
+  env.fluctuation_stddev_c = 0.0;
+  sim::Cluster cluster(env, Rng(8));
+  sim::MachineOptions options;
+  options.initial_temp_c = 23.0;
+  options.sensor.noise_stddev_c = 0.0;
+  options.sensor.quantization_c = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    cluster.add_machine(sim::make_server_spec("medium"), options);
+  }
+  sim::VmConfig burn;
+  burn.vcpus = 4;
+  burn.memory_gb = 4.0;
+  burn.task = sim::TaskType::kCpuBurn;
+  for (int v = 0; v < 6; ++v) {
+    cluster.place_vm(0, sim::Vm("burn-" + std::to_string(v), burn,
+                                Rng(100 + static_cast<std::uint64_t>(v))));
+  }
+  return cluster;
+}
+
+AutopilotOptions aggressive_options() {
+  AutopilotOptions options;
+  options.scan_interval_s = 60.0;
+  options.planner.target_c = 55.0;
+  options.planner.dest_headroom_c = 2.0;
+  return options;
+}
+
+TEST(AutopilotTest, OptionValidation) {
+  AutopilotOptions options;
+  options.scan_interval_s = 0.0;
+  EXPECT_THROW(Autopilot(make_predictor(), options), ConfigError);
+  options = AutopilotOptions{};
+  options.max_migrations_total = 0;
+  EXPECT_THROW(Autopilot(make_predictor(), options), ConfigError);
+}
+
+TEST(AutopilotTest, HealthyClusterUntouched) {
+  sim::EnvironmentSpec env;
+  env.base_c = 23.0;
+  sim::Cluster cluster(env, Rng(9));
+  sim::MachineOptions options;
+  cluster.add_machine(sim::make_server_spec("medium"), options);
+  sim::VmConfig idle;
+  idle.vcpus = 2;
+  idle.memory_gb = 4.0;
+  idle.task = sim::TaskType::kIdle;
+  cluster.place_vm(0, sim::Vm("idle", idle, Rng(10)));
+
+  Autopilot autopilot(make_predictor(), aggressive_options());
+  for (int i = 0; i < 120; ++i) {
+    cluster.step(5.0);
+    autopilot.step(cluster, 23.0);
+  }
+  EXPECT_TRUE(autopilot.actions().empty());
+}
+
+TEST(AutopilotTest, RebalancesOverloadedHost) {
+  auto cluster = make_hot_cluster();
+  Autopilot autopilot(make_predictor(), aggressive_options());
+
+  for (int i = 0; i < 240; ++i) {  // 1200 s
+    cluster.step(5.0);
+    autopilot.step(cluster, 23.0);
+  }
+
+  EXPECT_FALSE(autopilot.actions().empty());
+  // Every action moves load off the hot host.
+  for (const auto& action : autopilot.actions()) {
+    EXPECT_EQ(action.from_host, 0u);
+  }
+  // VMs actually landed elsewhere.
+  EXPECT_LT(cluster.machine(0).vm_count(), 6u);
+  EXPECT_GT(cluster.machine(1).vm_count() + cluster.machine(2).vm_count(), 0u);
+}
+
+TEST(AutopilotTest, LowersPeakTemperatureVsNoControl) {
+  auto controlled = make_hot_cluster();
+  auto uncontrolled = make_hot_cluster();
+  Autopilot autopilot(make_predictor(), aggressive_options());
+
+  double controlled_peak = 0.0;
+  double uncontrolled_peak = 0.0;
+  for (int i = 0; i < 480; ++i) {  // 2400 s
+    controlled.step(5.0);
+    autopilot.step(controlled, 23.0);
+    uncontrolled.step(5.0);
+    for (std::size_t h = 0; h < 3; ++h) {
+      controlled_peak = std::max(
+          controlled_peak, controlled.machine(h).thermal().die_temp_c());
+      uncontrolled_peak = std::max(
+          uncontrolled_peak, uncontrolled.machine(h).thermal().die_temp_c());
+    }
+  }
+  EXPECT_LT(controlled_peak, uncontrolled_peak - 3.0);
+}
+
+TEST(AutopilotTest, RespectsLifetimeBudget) {
+  auto cluster = make_hot_cluster();
+  AutopilotOptions options = aggressive_options();
+  options.planner.target_c = 30.0;  // impossible: would move forever
+  options.max_migrations_total = 2;
+  Autopilot autopilot(make_predictor(), options);
+  for (int i = 0; i < 480; ++i) {
+    cluster.step(5.0);
+    autopilot.step(cluster, 23.0);
+  }
+  EXPECT_LE(autopilot.migrations_started(), 2u);
+}
+
+TEST(AutopilotTest, ScanIntervalThrottlesEvaluation) {
+  auto cluster = make_hot_cluster();
+  AutopilotOptions options = aggressive_options();
+  options.scan_interval_s = 1e9;  // one scan, at the first step
+  Autopilot autopilot(make_predictor(), options);
+  cluster.step(5.0);
+  const std::size_t first = autopilot.step(cluster, 23.0);
+  for (int i = 0; i < 100; ++i) {
+    cluster.step(5.0);
+    EXPECT_EQ(autopilot.step(cluster, 23.0), 0u);
+  }
+  EXPECT_EQ(autopilot.migrations_started(), first);
+}
+
+TEST(AutopilotTest, PredictionsExposedAfterScan) {
+  auto cluster = make_hot_cluster();
+  Autopilot autopilot(make_predictor(), aggressive_options());
+  EXPECT_TRUE(autopilot.last_predictions().empty());
+  cluster.step(5.0);
+  autopilot.step(cluster, 23.0);
+  ASSERT_EQ(autopilot.last_predictions().size(), 3u);
+  // The overloaded host is predicted hottest.
+  EXPECT_GT(autopilot.last_predictions()[0],
+            autopilot.last_predictions()[1]);
+}
+
+}  // namespace
+}  // namespace vmtherm::mgmt

@@ -1,0 +1,140 @@
+// Tests for mgmt/cooling: COP model and predictive setpoint planning.
+
+#include "mgmt/cooling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+
+namespace vmtherm::mgmt {
+namespace {
+
+const core::StableTemperaturePredictor& predictor() {
+  static const core::StableTemperaturePredictor p = [] {
+    sim::ScenarioRanges ranges;
+    ranges.duration_s = 1200.0;
+    ranges.sample_interval_s = 10.0;
+    core::StableTrainOptions options;
+    ml::SvrParams params;
+    params.kernel.gamma = 1.0 / 32;
+    params.c = 512.0;
+    params.epsilon = 0.05;
+    options.fixed_params = params;
+    return core::StableTemperaturePredictor::train(
+        core::generate_corpus(ranges, 150, 71), options);
+  }();
+  return p;
+}
+
+std::vector<PlannedHost> small_fleet() {
+  sim::VmConfig batch;
+  batch.vcpus = 4;
+  batch.memory_gb = 4.0;
+  batch.task = sim::TaskType::kBatch;
+  sim::VmConfig burn = batch;
+  burn.task = sim::TaskType::kCpuBurn;
+
+  PlannedHost cool;
+  cool.server = sim::make_server_spec("medium");
+  cool.fans = 4;
+  cool.vms = {batch, batch};
+  PlannedHost warm;
+  warm.server = sim::make_server_spec("medium");
+  warm.fans = 4;
+  warm.vms = {burn, burn, burn, batch};
+  return {cool, warm};
+}
+
+TEST(CoolingModelTest, CopGrowsWithSupplyTemperature) {
+  double prev = CoolingModel::cop(10.0);
+  for (double t = 12.0; t <= 35.0; t += 2.0) {
+    const double c = CoolingModel::cop(t);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CoolingModelTest, KnownCopValue) {
+  // COP(25) = 0.0068*625 + 0.0008*25 + 0.458 = 4.25 + 0.02 + 0.458.
+  EXPECT_NEAR(CoolingModel::cop(25.0), 4.728, 1e-9);
+}
+
+TEST(CoolingModelTest, CoolingPowerInverseInCop) {
+  const double watts = CoolingModel::cooling_power_watts(1000.0, 25.0);
+  EXPECT_NEAR(watts, 1000.0 / 4.728, 1e-6);
+}
+
+TEST(CoolingModelTest, NegativeItPowerRejected) {
+  EXPECT_THROW((void)CoolingModel::cooling_power_watts(-1.0, 25.0),
+               ConfigError);
+}
+
+TEST(CoolingModelTest, SavingFractionPositiveWhenWarming) {
+  const double saving = CoolingModel::saving_fraction(18.0, 27.0);
+  EXPECT_GT(saving, 0.2);
+  EXPECT_LT(saving, 0.8);
+  // No change -> no saving.
+  EXPECT_DOUBLE_EQ(CoolingModel::saving_fraction(22.0, 22.0), 0.0);
+  // Cooling down costs.
+  EXPECT_LT(CoolingModel::saving_fraction(27.0, 18.0), 0.0);
+}
+
+TEST(PlanSetpointTest, RaisesSetpointUntilBudget) {
+  const auto plan = plan_setpoint(predictor(), small_fleet(),
+                                  /*baseline=*/18.0, /*max=*/32.0,
+                                  /*cpu_limit=*/75.0, /*margin=*/2.0);
+  EXPECT_GE(plan.recommended_supply_c, plan.baseline_supply_c);
+  EXPECT_LE(plan.hottest_predicted_c, 73.0 + 1e-9);
+  EXPECT_GE(plan.cooling_saving_fraction, 0.0);
+}
+
+TEST(PlanSetpointTest, TighterLimitMeansLowerSetpoint) {
+  const auto loose = plan_setpoint(predictor(), small_fleet(), 18.0, 32.0,
+                                   80.0, 2.0);
+  const auto tight = plan_setpoint(predictor(), small_fleet(), 18.0, 32.0,
+                                   65.0, 2.0);
+  EXPECT_LE(tight.recommended_supply_c, loose.recommended_supply_c);
+}
+
+TEST(PlanSetpointTest, HotterFleetGetsLowerSetpoint) {
+  auto hot_fleet = small_fleet();
+  sim::VmConfig burn;
+  burn.vcpus = 8;
+  burn.memory_gb = 4.0;
+  burn.task = sim::TaskType::kCpuBurn;
+  hot_fleet[1].vms.push_back(burn);
+  hot_fleet[1].fans = 2;
+
+  const auto base = plan_setpoint(predictor(), small_fleet(), 18.0, 32.0,
+                                  72.0, 2.0);
+  const auto hot = plan_setpoint(predictor(), hot_fleet, 18.0, 32.0,
+                                 72.0, 2.0);
+  EXPECT_LE(hot.recommended_supply_c, base.recommended_supply_c);
+}
+
+TEST(PlanSetpointTest, BaselineViolationYieldsNoRaise) {
+  const auto plan = plan_setpoint(predictor(), small_fleet(), 18.0, 32.0,
+                                  /*cpu_limit=*/30.0, /*margin=*/2.0);
+  EXPECT_DOUBLE_EQ(plan.recommended_supply_c, 18.0);
+  EXPECT_DOUBLE_EQ(plan.cooling_saving_fraction, 0.0);
+}
+
+TEST(PlanSetpointTest, InvalidInputsThrow) {
+  EXPECT_THROW((void)plan_setpoint(predictor(), {}, 18.0, 32.0, 70.0),
+               ConfigError);
+  EXPECT_THROW(
+      (void)plan_setpoint(predictor(), small_fleet(), 30.0, 20.0, 70.0),
+      ConfigError);
+  EXPECT_THROW((void)plan_setpoint(predictor(), small_fleet(), 18.0, 32.0,
+                                   70.0, 2.0, 0.0),
+               ConfigError);
+}
+
+TEST(PlanSetpointTest, IdentifiesHottestHost) {
+  const auto plan = plan_setpoint(predictor(), small_fleet(), 18.0, 32.0,
+                                  80.0, 2.0);
+  EXPECT_EQ(plan.hottest_host, 1u);  // the burn-heavy host
+}
+
+}  // namespace
+}  // namespace vmtherm::mgmt

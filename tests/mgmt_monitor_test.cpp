@@ -1,0 +1,167 @@
+// Tests for mgmt/monitor: the online ThermalMonitorService.
+
+#include "mgmt/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "sim/cluster.h"
+
+namespace vmtherm::mgmt {
+namespace {
+
+core::StableTemperaturePredictor make_predictor() {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1200.0;
+  ranges.sample_interval_s = 10.0;
+  core::StableTrainOptions options;
+  ml::SvrParams params;
+  params.kernel.gamma = 1.0 / 32;
+  params.c = 512.0;
+  params.epsilon = 0.05;
+  options.fixed_params = params;
+  return core::StableTemperaturePredictor::train(
+      core::generate_corpus(ranges, 150, 73), options);
+}
+
+MonitoredConfig busy_config() {
+  MonitoredConfig config;
+  config.server = sim::make_server_spec("medium");
+  config.fans = 4;
+  sim::VmConfig burn;
+  burn.vcpus = 8;
+  burn.memory_gb = 8.0;
+  burn.task = sim::TaskType::kCpuBurn;
+  config.vms = {burn, burn};
+  config.env_temp_c = 23.0;
+  return config;
+}
+
+MonitoredConfig idle_config() {
+  MonitoredConfig config = busy_config();
+  config.vms.clear();
+  sim::VmConfig idle;
+  idle.vcpus = 2;
+  idle.memory_gb = 4.0;
+  idle.task = sim::TaskType::kIdle;
+  config.vms = {idle};
+  return config;
+}
+
+TEST(MonitorTest, RegisterAndQuery) {
+  ThermalMonitorService service(make_predictor());
+  service.register_host("h1", busy_config(), 0.0, 23.0);
+  EXPECT_TRUE(service.has_host("h1"));
+  EXPECT_EQ(service.host_count(), 1u);
+  EXPECT_GT(service.stable_prediction("h1"), 30.0);
+  EXPECT_EQ(service.config_of("h1").fans, 4);
+}
+
+TEST(MonitorTest, DuplicateRegistrationThrows) {
+  ThermalMonitorService service(make_predictor());
+  service.register_host("h1", busy_config(), 0.0, 23.0);
+  EXPECT_THROW(service.register_host("h1", busy_config(), 0.0, 23.0),
+               ConfigError);
+}
+
+TEST(MonitorTest, UnknownHostThrows) {
+  ThermalMonitorService service(make_predictor());
+  EXPECT_THROW(service.observe("ghost", 1.0, 40.0), ConfigError);
+  EXPECT_THROW((void)service.forecast("ghost", 60.0), ConfigError);
+  EXPECT_THROW(service.unregister_host("ghost"), ConfigError);
+  EXPECT_THROW((void)service.config_of("ghost"), ConfigError);
+}
+
+TEST(MonitorTest, UnregisterRemoves) {
+  ThermalMonitorService service(make_predictor());
+  service.register_host("h1", busy_config(), 0.0, 23.0);
+  service.unregister_host("h1");
+  EXPECT_FALSE(service.has_host("h1"));
+  EXPECT_EQ(service.host_count(), 0u);
+}
+
+TEST(MonitorTest, ForecastRisesTowardStablePrediction) {
+  ThermalMonitorService service(make_predictor());
+  service.register_host("h1", busy_config(), 0.0, 23.0);
+  const double near = service.forecast("h1", 30.0);
+  const double far = service.forecast("h1", 590.0);
+  EXPECT_GT(far, near);  // heating toward the stable target
+  EXPECT_NEAR(far, service.stable_prediction("h1"), 6.0);
+}
+
+TEST(MonitorTest, ObservationsCalibrateForecasts) {
+  ThermalMonitorService service(make_predictor());
+  service.register_host("h1", busy_config(), 0.0, 23.0);
+  // Feed measurements consistently 4 C above the model's own trajectory.
+  for (double t = 15.0; t <= 300.0; t += 15.0) {
+    const double model_now = service.forecast("h1", 0.0);
+    service.observe("h1", t, model_now + 4.0);
+  }
+  // After many updates the forecast carries (most of) the offset.
+  const double before_offset = service.forecast("h1", 0.0);
+  service.observe("h1", 315.0, before_offset);  // consistent reading
+  EXPECT_GT(service.forecast("h1", 0.0), before_offset - 1.0);
+}
+
+TEST(MonitorTest, UpdateConfigRetargets) {
+  ThermalMonitorService service(make_predictor());
+  service.register_host("h1", busy_config(), 0.0, 23.0);
+  for (double t = 15.0; t <= 120.0; t += 15.0) {
+    service.observe("h1", t, 30.0 + t * 0.05);
+  }
+  const double busy_stable = service.stable_prediction("h1");
+  service.update_config("h1", idle_config(), 120.0, 36.0);
+  const double idle_stable = service.stable_prediction("h1");
+  EXPECT_LT(idle_stable, busy_stable - 5.0);
+  // Forecast now heads toward the idle stable prediction (consistency of
+  // the retargeted curve, not absolute model accuracy).
+  EXPECT_NEAR(service.forecast("h1", 590.0), idle_stable, 2.0);
+  EXPECT_LT(service.forecast("h1", 590.0), busy_stable - 4.0);
+}
+
+TEST(MonitorTest, HotspotRisksSortedAndFlagged) {
+  ThermalMonitorService service(make_predictor());
+  service.register_host("hot", busy_config(), 0.0, 23.0);
+  service.register_host("cool", idle_config(), 0.0, 23.0);
+
+  const auto risks = service.hotspot_risks(590.0, 45.0);
+  ASSERT_EQ(risks.size(), 2u);
+  EXPECT_EQ(risks[0].host_id, "hot");
+  EXPECT_GE(risks[0].forecast_c, risks[1].forecast_c);
+  EXPECT_TRUE(risks[0].at_risk);
+  EXPECT_FALSE(risks[1].at_risk);
+}
+
+TEST(MonitorTest, TracksLiveSimulatedMachine) {
+  // End-to-end: monitor tracks a simulated machine within a tight MAE.
+  const auto predictor = make_predictor();
+  ThermalMonitorService service(predictor);
+
+  sim::MachineOptions machine_options;
+  machine_options.initial_temp_c = 23.0;
+  sim::PhysicalMachine machine(sim::make_server_spec("medium"),
+                               machine_options, Rng(3));
+  sim::VmConfig burn;
+  burn.vcpus = 8;
+  burn.memory_gb = 8.0;
+  burn.task = sim::TaskType::kCpuBurn;
+  machine.add_vm(sim::Vm("b0", burn, Rng(4)));
+  machine.add_vm(sim::Vm("b1", burn, Rng(5)));
+
+  MonitoredConfig config = busy_config();
+  service.register_host("m", config, 0.0, 23.0);
+
+  double abs_err = 0.0;
+  int n = 0;
+  for (int step = 1; step <= 240; ++step) {
+    const auto sample = machine.step(5.0, 23.0);
+    const double forecast_now = service.forecast("m", 0.0);
+    abs_err += std::abs(forecast_now - sample.cpu_temp_sensed_c);
+    ++n;
+    service.observe("m", sample.time_s, sample.cpu_temp_sensed_c);
+  }
+  EXPECT_LT(abs_err / n, 2.0);
+}
+
+}  // namespace
+}  // namespace vmtherm::mgmt

@@ -1,0 +1,177 @@
+// Tests for mgmt/planner: greedy predictive hotspot relief.
+
+#include "mgmt/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+
+namespace vmtherm::mgmt {
+namespace {
+
+const core::StableTemperaturePredictor& predictor() {
+  static const core::StableTemperaturePredictor p = [] {
+    sim::ScenarioRanges ranges;
+    ranges.duration_s = 1200.0;
+    ranges.sample_interval_s = 10.0;
+    core::StableTrainOptions options;
+    ml::SvrParams params;
+    params.kernel.gamma = 1.0 / 32;
+    params.c = 512.0;
+    params.epsilon = 0.05;
+    options.fixed_params = params;
+    return core::StableTemperaturePredictor::train(
+        core::generate_corpus(ranges, 150, 72), options);
+  }();
+  return p;
+}
+
+PlacedVm vm(const std::string& id, sim::TaskType task, int vcpus = 4,
+            double mem = 4.0) {
+  PlacedVm v;
+  v.id = id;
+  v.config.vcpus = vcpus;
+  v.config.memory_gb = mem;
+  v.config.task = task;
+  return v;
+}
+
+/// One overloaded host plus two mostly idle ones.
+std::vector<HostPlacement> unbalanced_fleet() {
+  HostPlacement hot;
+  hot.server = sim::make_server_spec("medium");
+  hot.fans = 4;
+  hot.vms = {vm("burn-0", sim::TaskType::kCpuBurn, 8),
+             vm("burn-1", sim::TaskType::kCpuBurn, 8),
+             vm("burn-2", sim::TaskType::kCpuBurn, 8),
+             vm("web-0", sim::TaskType::kWebServer, 4)};
+
+  HostPlacement idle_a;
+  idle_a.server = sim::make_server_spec("medium");
+  idle_a.fans = 4;
+  idle_a.vms = {vm("idle-0", sim::TaskType::kIdle, 2)};
+
+  HostPlacement idle_b;
+  idle_b.server = sim::make_server_spec("large");
+  idle_b.fans = 6;
+  idle_b.vms = {vm("idle-1", sim::TaskType::kIdle, 2)};
+  return {hot, idle_a, idle_b};
+}
+
+TEST(HostPlacementTest, MemoryAccounting) {
+  const auto fleet = unbalanced_fleet();
+  EXPECT_DOUBLE_EQ(fleet[0].used_memory_gb(), 16.0);
+  sim::VmConfig big;
+  big.vcpus = 2;
+  big.memory_gb = 100.0;
+  EXPECT_FALSE(fleet[0].fits(big));
+  big.memory_gb = 16.0;
+  EXPECT_TRUE(fleet[0].fits(big));
+}
+
+TEST(PlannerTest, EmptyFleetThrows) {
+  EXPECT_THROW((void)plan_migrations(predictor(), {}, PlannerOptions{}),
+               ConfigError);
+}
+
+TEST(PlannerTest, HealthyFleetNeedsNoMoves) {
+  std::vector<HostPlacement> fleet = {unbalanced_fleet()[1],
+                                      unbalanced_fleet()[2]};
+  PlannerOptions options;
+  options.target_c = 70.0;
+  const auto plan = plan_migrations(predictor(), fleet, options);
+  EXPECT_TRUE(plan.moves.empty());
+  EXPECT_TRUE(plan.target_met);
+}
+
+TEST(PlannerTest, RelievesHotspot) {
+  PlannerOptions options;
+  options.target_c = 62.0;
+  options.env_temp_c = 23.0;
+  const auto plan = plan_migrations(predictor(), unbalanced_fleet(), options);
+
+  ASSERT_FALSE(plan.moves.empty());
+  EXPECT_GT(plan.predicted_before_c[0], options.target_c);
+  // The hot host's prediction must have dropped.
+  EXPECT_LT(plan.predicted_after_c[0], plan.predicted_before_c[0]);
+  // Every move originates from the hot host here.
+  for (const auto& move : plan.moves) {
+    EXPECT_EQ(move.from_host, 0u);
+    EXPECT_NE(move.to_host, 0u);
+  }
+}
+
+TEST(PlannerTest, DestinationsStayUnderTarget) {
+  PlannerOptions options;
+  options.target_c = 62.0;
+  options.dest_headroom_c = 2.0;
+  const auto plan = plan_migrations(predictor(), unbalanced_fleet(), options);
+  for (const auto& move : plan.moves) {
+    EXPECT_LE(move.dest_predicted_after_c,
+              options.target_c - options.dest_headroom_c + 1e-9);
+  }
+}
+
+TEST(PlannerTest, RespectsMoveBudget) {
+  PlannerOptions options;
+  options.target_c = 40.0;  // unreachable: everything is over
+  options.max_moves = 2;
+  const auto plan = plan_migrations(predictor(), unbalanced_fleet(), options);
+  EXPECT_LE(plan.moves.size(), 2u);
+  EXPECT_FALSE(plan.target_met);
+}
+
+TEST(PlannerTest, DeterministicPlans) {
+  PlannerOptions options;
+  options.target_c = 62.0;
+  const auto a = plan_migrations(predictor(), unbalanced_fleet(), options);
+  const auto b = plan_migrations(predictor(), unbalanced_fleet(), options);
+  ASSERT_EQ(a.moves.size(), b.moves.size());
+  for (std::size_t i = 0; i < a.moves.size(); ++i) {
+    EXPECT_EQ(a.moves[i].vm_id, b.moves[i].vm_id);
+    EXPECT_EQ(a.moves[i].to_host, b.moves[i].to_host);
+  }
+}
+
+TEST(PlannerTest, PlanVerifiesOnTestbed) {
+  // Execute the plan on the simulator: the hot host's *measured* stable
+  // temperature must drop by roughly the predicted amount.
+  PlannerOptions options;
+  options.target_c = 62.0;
+  auto fleet = unbalanced_fleet();
+  const auto plan = plan_migrations(predictor(), fleet, options);
+  ASSERT_FALSE(plan.moves.empty());
+
+  auto measure = [&](const HostPlacement& host) {
+    sim::ExperimentConfig config;
+    config.server = host.server;
+    config.vms = host.configs();
+    config.active_fans = host.fans;
+    config.environment.base_c = options.env_temp_c;
+    config.initial_temp_c = options.env_temp_c;
+    config.duration_s = 1500.0;
+    config.sample_interval_s = 10.0;
+    config.seed = 5;
+    return core::stable_temperature(sim::run_experiment(config).trace);
+  };
+
+  const double before = measure(fleet[0]);
+  // Apply the plan.
+  for (const auto& move : plan.moves) {
+    auto& from = fleet[move.from_host];
+    auto& to = fleet[move.to_host];
+    for (auto it = from.vms.begin(); it != from.vms.end(); ++it) {
+      if (it->id == move.vm_id) {
+        to.vms.push_back(*it);
+        from.vms.erase(it);
+        break;
+      }
+    }
+  }
+  const double after = measure(fleet[0]);
+  EXPECT_LT(after, before - 2.0);
+  EXPECT_NEAR(after, plan.predicted_after_c[0], 5.0);
+}
+
+}  // namespace
+}  // namespace vmtherm::mgmt

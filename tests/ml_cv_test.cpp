@@ -1,0 +1,110 @@
+// Tests for ml/cv: fold construction and cross-validated scoring.
+
+#include "ml/cv.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/linreg.h"
+
+namespace vmtherm::ml {
+namespace {
+
+TEST(MakeFoldsTest, RejectsDegenerateInputs) {
+  Rng rng(1);
+  EXPECT_THROW((void)make_folds(10, 1, rng), DataError);
+  EXPECT_THROW((void)make_folds(3, 5, rng), DataError);
+}
+
+TEST(MakeFoldsTest, EverySampleValidatedExactlyOnce) {
+  Rng rng(2);
+  const auto folds = make_folds(23, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::multiset<std::size_t> validated;
+  for (const auto& f : folds) {
+    for (std::size_t i : f.validation) validated.insert(i);
+  }
+  EXPECT_EQ(validated.size(), 23u);
+  for (std::size_t i = 0; i < 23; ++i) {
+    EXPECT_EQ(validated.count(i), 1u) << i;
+  }
+}
+
+TEST(MakeFoldsTest, TrainAndValidationDisjointAndComplete) {
+  Rng rng(3);
+  const auto folds = make_folds(20, 4, rng);
+  for (const auto& f : folds) {
+    EXPECT_EQ(f.train.size() + f.validation.size(), 20u);
+    std::set<std::size_t> train(f.train.begin(), f.train.end());
+    for (std::size_t i : f.validation) {
+      EXPECT_EQ(train.count(i), 0u);
+    }
+  }
+}
+
+TEST(MakeFoldsTest, FoldSizesBalanced) {
+  Rng rng(4);
+  const auto folds = make_folds(23, 5, rng);
+  for (const auto& f : folds) {
+    EXPECT_GE(f.validation.size(), 4u);
+    EXPECT_LE(f.validation.size(), 5u);
+  }
+}
+
+TEST(MakeFoldsTest, DeterministicGivenRngState) {
+  Rng a(5);
+  Rng b(5);
+  const auto fa = make_folds(15, 3, a);
+  const auto fb = make_folds(15, 3, b);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].validation, fb[i].validation);
+  }
+}
+
+TEST(CrossValidatedMseTest, PerfectModelScoresZero) {
+  Dataset data;
+  for (int i = 0; i < 30; ++i) {
+    const double x = static_cast<double>(i);
+    data.add(Sample{{x}, 2.0 * x + 1.0});
+  }
+  Rng rng(6);
+  const double score = cross_validated_mse(
+      data, 5, rng, [](const Dataset& train, const Dataset& validation) {
+        const auto model = LinearRegression::fit(train);
+        return model.predict(validation);
+      });
+  EXPECT_NEAR(score, 0.0, 1e-9);
+}
+
+TEST(CrossValidatedMseTest, ConstantPredictorScoresVariance) {
+  // Predicting 0 for targets {-1, +1} alternating: MSE = 1.
+  Dataset data;
+  for (int i = 0; i < 20; ++i) {
+    data.add(Sample{{static_cast<double>(i)}, i % 2 == 0 ? 1.0 : -1.0});
+  }
+  Rng rng(7);
+  const double score = cross_validated_mse(
+      data, 4, rng, [](const Dataset&, const Dataset& validation) {
+        return std::vector<double>(validation.size(), 0.0);
+      });
+  EXPECT_DOUBLE_EQ(score, 1.0);
+}
+
+TEST(CrossValidatedMseTest, WrongPredictionCountThrows) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    data.add(Sample{{static_cast<double>(i)}, 0.0});
+  }
+  Rng rng(8);
+  EXPECT_THROW(
+      (void)cross_validated_mse(
+          data, 2, rng,
+          [](const Dataset&, const Dataset&) {
+            return std::vector<double>{0.0};  // wrong size
+          }),
+      DataError);
+}
+
+}  // namespace
+}  // namespace vmtherm::ml

@@ -1,0 +1,138 @@
+// Tests for ml/dataset: container invariants, shuffling, splitting.
+
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vmtherm::ml {
+namespace {
+
+Dataset make_dataset(std::size_t n) {
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    data.add(Sample{{static_cast<double>(i), static_cast<double>(2 * i)},
+                    static_cast<double>(i)});
+  }
+  return data;
+}
+
+TEST(DatasetTest, EmptyProperties) {
+  Dataset data;
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(data.size(), 0u);
+  EXPECT_EQ(data.dim(), 0u);
+}
+
+TEST(DatasetTest, DimSetByFirstSample) {
+  Dataset data;
+  data.add(Sample{{1.0, 2.0, 3.0}, 0.5});
+  EXPECT_EQ(data.dim(), 3u);
+}
+
+TEST(DatasetTest, DimensionMismatchThrows) {
+  Dataset data;
+  data.add(Sample{{1.0, 2.0}, 0.0});
+  EXPECT_THROW(data.add(Sample{{1.0}, 0.0}), DataError);
+  EXPECT_THROW(data.add(Sample{{1.0, 2.0, 3.0}, 0.0}), DataError);
+}
+
+TEST(DatasetTest, ConstructorFromVector) {
+  std::vector<Sample> samples = {{{1.0}, 2.0}, {{3.0}, 4.0}};
+  Dataset data(std::move(samples));
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_DOUBLE_EQ(data[1].y, 4.0);
+}
+
+TEST(DatasetTest, TargetsInOrder) {
+  const auto data = make_dataset(5);
+  const auto y = data.targets();
+  ASSERT_EQ(y.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(y[i], static_cast<double>(i));
+  }
+}
+
+TEST(DatasetTest, ShuffledPreservesMultiset) {
+  const auto data = make_dataset(50);
+  Rng rng(3);
+  const Dataset shuffled = data.shuffled(rng);
+  ASSERT_EQ(shuffled.size(), 50u);
+  std::multiset<double> orig;
+  std::multiset<double> shuf;
+  for (std::size_t i = 0; i < 50; ++i) {
+    orig.insert(data[i].y);
+    shuf.insert(shuffled[i].y);
+  }
+  EXPECT_EQ(orig, shuf);
+  // And actually permutes.
+  bool moved = false;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (shuffled[i].y != data[i].y) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(DatasetTest, SubsetSelectsByIndex) {
+  const auto data = make_dataset(10);
+  const std::vector<std::size_t> idx = {3, 3, 7};
+  const Dataset sub = data.subset(idx);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub[0].y, 3.0);
+  EXPECT_DOUBLE_EQ(sub[1].y, 3.0);
+  EXPECT_DOUBLE_EQ(sub[2].y, 7.0);
+}
+
+TEST(DatasetTest, SubsetOutOfRangeThrows) {
+  const auto data = make_dataset(3);
+  const std::vector<std::size_t> idx = {5};
+  EXPECT_THROW((void)data.subset(idx), DataError);
+}
+
+TEST(TrainTestSplitTest, SizesMatchFraction) {
+  const auto data = make_dataset(100);
+  Rng rng(5);
+  const auto split = train_test_split(data, 0.8, rng);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.test.size(), 20u);
+}
+
+TEST(TrainTestSplitTest, PartitionIsComplete) {
+  const auto data = make_dataset(30);
+  Rng rng(7);
+  const auto split = train_test_split(data, 0.5, rng);
+  std::multiset<double> all;
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    all.insert(split.train[i].y);
+  }
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    all.insert(split.test[i].y);
+  }
+  std::multiset<double> orig;
+  for (std::size_t i = 0; i < 30; ++i) orig.insert(data[i].y);
+  EXPECT_EQ(all, orig);
+}
+
+TEST(TrainTestSplitTest, BothPartsNonEmptyAtExtremes) {
+  const auto data = make_dataset(10);
+  Rng rng(9);
+  const auto tiny = train_test_split(data, 0.01, rng);
+  EXPECT_GE(tiny.train.size(), 1u);
+  EXPECT_GE(tiny.test.size(), 1u);
+  const auto huge = train_test_split(data, 0.99, rng);
+  EXPECT_GE(huge.train.size(), 1u);
+  EXPECT_GE(huge.test.size(), 1u);
+}
+
+TEST(TrainTestSplitTest, InvalidInputsThrow) {
+  const auto data = make_dataset(10);
+  Rng rng(1);
+  EXPECT_THROW((void)train_test_split(data, 0.0, rng), ConfigError);
+  EXPECT_THROW((void)train_test_split(data, 1.0, rng), ConfigError);
+  const auto single = make_dataset(1);
+  EXPECT_THROW((void)train_test_split(single, 0.5, rng), DataError);
+}
+
+}  // namespace
+}  // namespace vmtherm::ml

@@ -1,0 +1,162 @@
+// Tests for ml/forest: CART forest regression.
+
+#include "ml/forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace vmtherm::ml {
+namespace {
+
+Dataset step_data(std::size_t n, std::uint64_t seed) {
+  // Piecewise-constant target: trees should nail this.
+  Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    data.add(Sample{{x}, x < 0.5 ? 1.0 : 5.0});
+  }
+  return data;
+}
+
+Dataset smooth_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const double y = std::sin(2.0 * x[0]) + 0.5 * x[1];
+    data.add(Sample{std::move(x), y});
+  }
+  return data;
+}
+
+ForestParams fast_params() {
+  ForestParams params;
+  params.n_trees = 30;
+  return params;
+}
+
+TEST(ForestTest, EmptyTrainingSetThrows) {
+  EXPECT_THROW((void)RandomForest::train(Dataset{}, fast_params()), DataError);
+}
+
+TEST(ForestTest, InvalidParamsRejected) {
+  const auto data = step_data(20, 1);
+  ForestParams params;
+  params.n_trees = 0;
+  EXPECT_THROW((void)RandomForest::train(data, params), ConfigError);
+  params = ForestParams{};
+  params.feature_fraction = 0.0;
+  EXPECT_THROW((void)RandomForest::train(data, params), ConfigError);
+  params = ForestParams{};
+  params.feature_fraction = 1.5;
+  EXPECT_THROW((void)RandomForest::train(data, params), ConfigError);
+}
+
+TEST(ForestTest, LearnsStepFunction) {
+  const auto data = step_data(200, 2);
+  const auto forest = RandomForest::train(data, fast_params());
+  EXPECT_NEAR(forest.predict(std::vector<double>{0.2}), 1.0, 0.3);
+  EXPECT_NEAR(forest.predict(std::vector<double>{0.8}), 5.0, 0.3);
+}
+
+TEST(ForestTest, ConstantTargetPredictsConstant) {
+  Dataset data;
+  for (int i = 0; i < 30; ++i) {
+    data.add(Sample{{static_cast<double>(i)}, 7.0});
+  }
+  const auto forest = RandomForest::train(data, fast_params());
+  EXPECT_DOUBLE_EQ(forest.predict(std::vector<double>{15.5}), 7.0);
+}
+
+TEST(ForestTest, SmoothTargetRSquared) {
+  const auto train = smooth_data(400, 3);
+  const auto test = smooth_data(100, 4);
+  ForestParams params;
+  params.n_trees = 60;
+  params.feature_fraction = 1.0;
+  const auto forest = RandomForest::train(train, params);
+  const auto pred = forest.predict(test);
+  EXPECT_GT(r_squared(pred, test.targets()), 0.85);
+}
+
+TEST(ForestTest, DeterministicGivenSeed) {
+  const auto data = smooth_data(100, 5);
+  const auto a = RandomForest::train(data, fast_params());
+  const auto b = RandomForest::train(data, fast_params());
+  for (double x = -1.0; x <= 1.0; x += 0.25) {
+    const std::vector<double> q = {x, 0.0};
+    ASSERT_DOUBLE_EQ(a.predict(q), b.predict(q));
+  }
+}
+
+TEST(ForestTest, DifferentSeedsDifferentForests) {
+  const auto data = smooth_data(100, 6);
+  ForestParams pa = fast_params();
+  ForestParams pb = fast_params();
+  pb.seed = 999;
+  const auto a = RandomForest::train(data, pa);
+  const auto b = RandomForest::train(data, pb);
+  double diff = 0.0;
+  for (double x = -1.0; x <= 1.0; x += 0.1) {
+    const std::vector<double> q = {x, 0.0};
+    diff += std::abs(a.predict(q) - b.predict(q));
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(ForestTest, TreeAndNodeCounts) {
+  const auto data = step_data(100, 7);
+  const auto forest = RandomForest::train(data, fast_params());
+  EXPECT_EQ(forest.tree_count(), 30u);
+  // A step function needs few nodes per tree but more than a single leaf.
+  EXPECT_GT(forest.node_count(), forest.tree_count());
+}
+
+TEST(ForestTest, MaxDepthOneGivesStumps) {
+  const auto data = step_data(200, 8);
+  ForestParams params = fast_params();
+  params.max_depth = 1;
+  const auto forest = RandomForest::train(data, params);
+  // Stumps: at most 3 nodes per tree.
+  EXPECT_LE(forest.node_count(), forest.tree_count() * 3);
+  // Still splits at 0.5 on this target.
+  EXPECT_LT(forest.predict(std::vector<double>{0.1}),
+            forest.predict(std::vector<double>{0.9}));
+}
+
+TEST(ForestTest, MinSamplesLeafLimitsGrowth) {
+  const auto data = smooth_data(200, 9);
+  ForestParams fine = fast_params();
+  fine.min_samples_leaf = 1;
+  ForestParams coarse = fast_params();
+  coarse.min_samples_leaf = 50;
+  const auto forest_fine = RandomForest::train(data, fine);
+  const auto forest_coarse = RandomForest::train(data, coarse);
+  EXPECT_GT(forest_fine.node_count(), forest_coarse.node_count());
+}
+
+TEST(ForestTest, NoBootstrapStillWorks) {
+  const auto data = step_data(100, 10);
+  ForestParams params = fast_params();
+  params.bootstrap = false;
+  params.feature_fraction = 1.0;
+  const auto forest = RandomForest::train(data, params);
+  EXPECT_NEAR(forest.predict(std::vector<double>{0.2}), 1.0, 0.2);
+}
+
+TEST(ForestTest, BatchPredictMatchesPointwise) {
+  const auto data = smooth_data(60, 11);
+  const auto forest = RandomForest::train(data, fast_params());
+  const auto batch = forest.predict(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], forest.predict(data[i].x));
+  }
+}
+
+}  // namespace
+}  // namespace vmtherm::ml

@@ -1,0 +1,105 @@
+// Tests for ml/grid: the easygrid-equivalent hyper-parameter search.
+
+#include "ml/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace vmtherm::ml {
+namespace {
+
+Dataset wavy_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    data.add(
+        Sample{{x}, std::sin(2.0 * std::numbers::pi * x) + rng.normal(0, 0.05)});
+  }
+  return data;
+}
+
+GridSpec small_grid() {
+  GridSpec spec;
+  spec.c_values = {1.0, 50.0};
+  spec.gamma_values = {0.05, 5.0};
+  spec.epsilon_values = {0.05};
+  spec.folds = 4;
+  return spec;
+}
+
+TEST(GridSearchTest, EvaluatesFullCartesianProduct) {
+  const auto data = wavy_data(60, 1);
+  const auto result = grid_search_svr(data, small_grid());
+  EXPECT_EQ(result.evaluated.size(), 4u);  // 2 x 2 x 1
+}
+
+TEST(GridSearchTest, BestPointHasLowestCvMse) {
+  const auto data = wavy_data(60, 2);
+  const auto result = grid_search_svr(data, small_grid());
+  for (const auto& point : result.evaluated) {
+    EXPECT_GE(point.cv_mse, result.best_cv_mse);
+  }
+}
+
+TEST(GridSearchTest, PrefersWigglyKernelForWigglyTarget) {
+  // sin(2 pi x) needs a reasonably large gamma; gamma=0.05 underfits badly.
+  const auto data = wavy_data(80, 3);
+  const auto result = grid_search_svr(data, small_grid());
+  EXPECT_DOUBLE_EQ(result.best_params.kernel.gamma, 5.0);
+}
+
+TEST(GridSearchTest, DeterministicGivenSeed) {
+  const auto data = wavy_data(50, 4);
+  const auto a = grid_search_svr(data, small_grid());
+  const auto b = grid_search_svr(data, small_grid());
+  EXPECT_DOUBLE_EQ(a.best_cv_mse, b.best_cv_mse);
+  EXPECT_DOUBLE_EQ(a.best_params.c, b.best_params.c);
+  EXPECT_DOUBLE_EQ(a.best_params.kernel.gamma, b.best_params.kernel.gamma);
+}
+
+TEST(GridSearchTest, WinningParamsTrainAccurateModel) {
+  const auto data = wavy_data(80, 5);
+  const auto result = grid_search_svr(data, small_grid());
+  const auto model = SvrModel::train(data, result.best_params);
+  double max_err = 0.0;
+  for (double x = -0.8; x <= 0.8; x += 0.2) {
+    max_err = std::max(
+        max_err, std::abs(model.predict(std::vector<double>{x}) -
+                          std::sin(2.0 * std::numbers::pi * x)));
+  }
+  EXPECT_LT(max_err, 0.35);
+}
+
+TEST(GridSearchTest, TooFewSamplesThrows) {
+  const auto data = wavy_data(3, 6);
+  EXPECT_THROW((void)grid_search_svr(data, small_grid()), DataError);
+}
+
+TEST(GridSearchTest, InvalidSpecThrows) {
+  const auto data = wavy_data(30, 7);
+  GridSpec spec = small_grid();
+  spec.c_values.clear();
+  EXPECT_THROW((void)grid_search_svr(data, spec), ConfigError);
+  spec = small_grid();
+  spec.folds = 1;
+  EXPECT_THROW((void)grid_search_svr(data, spec), ConfigError);
+}
+
+TEST(GridSearchTest, DefaultSpecIsUsableOnSmallData) {
+  GridSpec spec;  // defaults: 6 x 5 x 2 grid, 10 folds
+  spec.folds = 3;  // keep the test fast
+  const auto data = wavy_data(40, 8);
+  const auto result = grid_search_svr(data, spec);
+  EXPECT_EQ(result.evaluated.size(),
+            spec.c_values.size() * spec.gamma_values.size() *
+                spec.epsilon_values.size());
+  EXPECT_TRUE(std::isfinite(result.best_cv_mse));
+}
+
+}  // namespace
+}  // namespace vmtherm::ml

@@ -1,0 +1,130 @@
+// Tests for ml/kernel: values and properties of every kernel.
+
+#include "ml/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vmtherm::ml {
+namespace {
+
+TEST(KernelHelpersTest, DotAndDistance) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> z = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, z), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(squared_distance(x, z), 9.0 + 49.0 + 9.0);
+  EXPECT_DOUBLE_EQ(squared_distance(x, x), 0.0);
+}
+
+TEST(KernelNamesTest, RoundTrip) {
+  for (KernelKind k : {KernelKind::kLinear, KernelKind::kPolynomial,
+                       KernelKind::kRbf, KernelKind::kSigmoid}) {
+    EXPECT_EQ(kernel_kind_from_name(kernel_kind_name(k)), k);
+  }
+  EXPECT_THROW((void)kernel_kind_from_name("hyperbolic"), ConfigError);
+}
+
+TEST(KernelEvalTest, LinearIsDotProduct) {
+  KernelParams p;
+  p.kind = KernelKind::kLinear;
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> z = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(kernel_eval(p, x, z), 11.0);
+}
+
+TEST(KernelEvalTest, PolynomialKnownValue) {
+  KernelParams p;
+  p.kind = KernelKind::kPolynomial;
+  p.gamma = 0.5;
+  p.degree = 2;
+  p.coef0 = 1.0;
+  const std::vector<double> x = {2.0};
+  const std::vector<double> z = {2.0};
+  // (0.5 * 4 + 1)^2 = 9
+  EXPECT_DOUBLE_EQ(kernel_eval(p, x, z), 9.0);
+}
+
+TEST(KernelEvalTest, RbfKnownValue) {
+  KernelParams p;
+  p.kind = KernelKind::kRbf;
+  p.gamma = 0.25;
+  const std::vector<double> x = {0.0, 0.0};
+  const std::vector<double> z = {2.0, 0.0};
+  EXPECT_DOUBLE_EQ(kernel_eval(p, x, z), std::exp(-1.0));
+}
+
+TEST(KernelEvalTest, SigmoidKnownValue) {
+  KernelParams p;
+  p.kind = KernelKind::kSigmoid;
+  p.gamma = 1.0;
+  p.coef0 = 0.0;
+  const std::vector<double> x = {0.5};
+  const std::vector<double> z = {1.0};
+  EXPECT_DOUBLE_EQ(kernel_eval(p, x, z), std::tanh(0.5));
+}
+
+class RbfPropertyTest : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Gammas, RbfPropertyTest,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0, 4.0));
+
+TEST_P(RbfPropertyTest, SelfSimilarityIsOne) {
+  KernelParams p;
+  p.kind = KernelKind::kRbf;
+  p.gamma = GetParam();
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> x = {rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    EXPECT_DOUBLE_EQ(kernel_eval(p, x, x), 1.0);
+  }
+}
+
+TEST_P(RbfPropertyTest, SymmetricAndBounded) {
+  KernelParams p;
+  p.kind = KernelKind::kRbf;
+  p.gamma = GetParam();
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> x = {rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    std::vector<double> z = {rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const double kxz = kernel_eval(p, x, z);
+    const double kzx = kernel_eval(p, z, x);
+    EXPECT_DOUBLE_EQ(kxz, kzx);
+    EXPECT_GT(kxz, 0.0);
+    EXPECT_LE(kxz, 1.0);
+  }
+}
+
+TEST_P(RbfPropertyTest, DecaysWithDistance) {
+  KernelParams p;
+  p.kind = KernelKind::kRbf;
+  p.gamma = GetParam();
+  const std::vector<double> origin = {0.0};
+  double prev = 1.0;
+  for (double d = 0.5; d < 5.0; d += 0.5) {
+    const std::vector<double> z = {d};
+    const double k = kernel_eval(p, origin, z);
+    EXPECT_LT(k, prev);
+    prev = k;
+  }
+}
+
+TEST(KernelParamsTest, Validation) {
+  KernelParams p;
+  p.gamma = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = KernelParams{};
+  p.degree = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = KernelParams{};
+  p.kind = KernelKind::kLinear;
+  p.gamma = 0.0;  // gamma unused by linear
+  EXPECT_NO_THROW(p.validate());
+}
+
+}  // namespace
+}  // namespace vmtherm::ml

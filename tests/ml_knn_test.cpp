@@ -1,0 +1,90 @@
+// Tests for ml/knn.
+
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vmtherm::ml {
+namespace {
+
+Dataset grid_data() {
+  Dataset data;
+  data.add(Sample{{0.0}, 0.0});
+  data.add(Sample{{1.0}, 10.0});
+  data.add(Sample{{2.0}, 20.0});
+  data.add(Sample{{3.0}, 30.0});
+  return data;
+}
+
+TEST(KnnTest, EmptyTrainingSetThrows) {
+  EXPECT_THROW(KnnRegressor(Dataset{}, 3), DataError);
+}
+
+TEST(KnnTest, KIsClampedToDatasetSize) {
+  KnnRegressor model(grid_data(), 100);
+  EXPECT_EQ(model.k(), 4u);
+  KnnRegressor one(grid_data(), 0);
+  EXPECT_EQ(one.k(), 1u);
+}
+
+TEST(KnnTest, ExactMatchDominatesWithWeighting) {
+  KnnRegressor model(grid_data(), 3, /*distance_weighted=*/true);
+  EXPECT_NEAR(model.predict(std::vector<double>{2.0}), 20.0, 0.01);
+}
+
+TEST(KnnTest, K1ReturnsNearestTarget) {
+  KnnRegressor model(grid_data(), 1, /*distance_weighted=*/false);
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{1.4}), 10.0);
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{1.6}), 20.0);
+}
+
+TEST(KnnTest, UnweightedAveragesNeighbours) {
+  KnnRegressor model(grid_data(), 2, /*distance_weighted=*/false);
+  // Nearest two to 0.4 are x=0 and x=1.
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{0.4}), 5.0);
+}
+
+TEST(KnnTest, WeightedInterpolatesBetweenNeighbours) {
+  KnnRegressor model(grid_data(), 2, /*distance_weighted=*/true);
+  const double mid = model.predict(std::vector<double>{0.5});
+  EXPECT_NEAR(mid, 5.0, 0.01);  // equidistant -> equal weights
+  const double closer = model.predict(std::vector<double>{0.25});
+  EXPECT_LT(closer, 5.0);  // closer to x=0 -> pulled toward 0
+}
+
+TEST(KnnTest, DimensionMismatchThrows) {
+  KnnRegressor model(grid_data(), 2);
+  EXPECT_THROW((void)model.predict(std::vector<double>{1.0, 2.0}), DataError);
+}
+
+TEST(KnnTest, BatchPredictMatchesPointwise) {
+  Rng rng(1);
+  Dataset data;
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.uniform(-1, 1);
+    data.add(Sample{{x}, x * x});
+  }
+  KnnRegressor model(data, 5);
+  const auto batch = model.predict(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], model.predict(data[i].x));
+  }
+}
+
+TEST(KnnTest, ApproximatesSmoothFunction) {
+  Rng rng(2);
+  Dataset data;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    data.add(Sample{{x}, 3.0 * x});
+  }
+  KnnRegressor model(data, 5);
+  for (double x = 0.1; x <= 0.9; x += 0.2) {
+    EXPECT_NEAR(model.predict(std::vector<double>{x}), 3.0 * x, 0.2);
+  }
+}
+
+}  // namespace
+}  // namespace vmtherm::ml

@@ -1,0 +1,140 @@
+// Tests for ml/linreg: exact recovery, ridge shrinkage, degeneracy.
+
+#include "ml/linreg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace vmtherm::ml {
+namespace {
+
+TEST(LinRegTest, EmptyThrows) {
+  EXPECT_THROW((void)LinearRegression::fit(Dataset{}), DataError);
+}
+
+TEST(LinRegTest, RecoversExactLinearModel) {
+  Rng rng(1);
+  Dataset data;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(-5, 5);
+    const double b = rng.uniform(-5, 5);
+    data.add(Sample{{a, b}, 3.0 * a - 2.0 * b + 7.0});
+  }
+  const auto model = LinearRegression::fit(data);
+  ASSERT_EQ(model.weights().size(), 2u);
+  EXPECT_NEAR(model.weights()[0], 3.0, 1e-6);
+  EXPECT_NEAR(model.weights()[1], -2.0, 1e-6);
+  EXPECT_NEAR(model.intercept(), 7.0, 1e-6);
+}
+
+TEST(LinRegTest, PredictMatchesManualComputation) {
+  const LinearRegression model({2.0, -1.0}, 0.5);
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{3.0, 4.0}),
+                   6.0 - 4.0 + 0.5);
+}
+
+TEST(LinRegTest, PredictDimensionMismatchThrows) {
+  const LinearRegression model({1.0}, 0.0);
+  EXPECT_THROW((void)model.predict(std::vector<double>{1.0, 2.0}), DataError);
+}
+
+TEST(LinRegTest, NoisyDataStillCloseToTruth) {
+  Rng rng(2);
+  Dataset data;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1, 1);
+    data.add(Sample{{x}, 4.0 * x + 1.0 + rng.normal(0.0, 0.1)});
+  }
+  const auto model = LinearRegression::fit(data);
+  EXPECT_NEAR(model.weights()[0], 4.0, 0.05);
+  EXPECT_NEAR(model.intercept(), 1.0, 0.05);
+}
+
+TEST(LinRegTest, RidgeShrinksWeights) {
+  Rng rng(3);
+  Dataset data;
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform(-1, 1);
+    data.add(Sample{{x}, 5.0 * x});
+  }
+  const auto unregularized = LinearRegression::fit(data, 0.0);
+  const auto ridge = LinearRegression::fit(data, 100.0);
+  EXPECT_LT(std::abs(ridge.weights()[0]),
+            std::abs(unregularized.weights()[0]));
+  EXPECT_GT(std::abs(ridge.weights()[0]), 0.0);
+}
+
+TEST(LinRegTest, InterceptNotPenalized) {
+  // Constant target: heavy ridge must not shrink the intercept.
+  Dataset data;
+  for (int i = 0; i < 20; ++i) {
+    data.add(Sample{{static_cast<double>(i)}, 10.0});
+  }
+  const auto model = LinearRegression::fit(data, 1000.0);
+  EXPECT_NEAR(model.predict(std::vector<double>{5.0}), 10.0, 0.5);
+}
+
+TEST(LinRegTest, CollinearFeaturesHandled) {
+  // x1 = 2 * x0 exactly; OLS normal equations are singular, ridge/jitter
+  // must still produce a usable model.
+  Rng rng(4);
+  Dataset data;
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.uniform(-1, 1);
+    data.add(Sample{{x, 2.0 * x}, 3.0 * x + 1.0});
+  }
+  const auto model = LinearRegression::fit(data, 1e-6);
+  // Individual weights are not identified, but predictions must be.
+  for (double x = -0.8; x <= 0.8; x += 0.4) {
+    EXPECT_NEAR(model.predict(std::vector<double>{x, 2.0 * x}), 3.0 * x + 1.0,
+                0.01);
+  }
+}
+
+TEST(LinRegTest, NegativeLambdaRejected) {
+  Dataset data;
+  data.add(Sample{{1.0}, 1.0});
+  EXPECT_THROW((void)LinearRegression::fit(data, -1.0), ConfigError);
+}
+
+TEST(LinRegTest, BatchPredictMatchesPointwise) {
+  Rng rng(5);
+  Dataset data;
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.uniform(-1, 1);
+    data.add(Sample{{x}, 2.0 * x});
+  }
+  const auto model = LinearRegression::fit(data);
+  const auto batch = model.predict(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], model.predict(data[i].x));
+  }
+}
+
+TEST(LinRegTest, HighDimensionalRecovery) {
+  Rng rng(6);
+  const std::size_t d = 8;
+  std::vector<double> true_w(d);
+  for (std::size_t j = 0; j < d; ++j) true_w[j] = rng.uniform(-2, 2);
+  Dataset data;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x(d);
+    double y = 0.5;
+    for (std::size_t j = 0; j < d; ++j) {
+      x[j] = rng.uniform(-1, 1);
+      y += true_w[j] * x[j];
+    }
+    data.add(Sample{std::move(x), y});
+  }
+  const auto model = LinearRegression::fit(data);
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(model.weights()[j], true_w[j], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace vmtherm::ml

@@ -1,0 +1,131 @@
+// Tests for ml/model_io: text round-trips and format errors.
+
+#include "ml/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace vmtherm::ml {
+namespace {
+
+SvrModel trained_model(KernelKind kind = KernelKind::kRbf) {
+  Rng rng(1);
+  Dataset data;
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform(-1, 1);
+    data.add(Sample{{x, x * x}, std::sin(3.0 * x)});
+  }
+  SvrParams params;
+  params.kernel.kind = kind;
+  params.kernel.gamma = 1.5;
+  params.kernel.coef0 = 0.5;
+  params.c = 10.0;
+  params.epsilon = 0.05;
+  return SvrModel::train(data, params);
+}
+
+TEST(SvrIoTest, RoundTripPreservesPredictions) {
+  const auto model = trained_model();
+  std::stringstream ss;
+  save_svr(ss, model);
+  const auto loaded = load_svr(ss);
+
+  EXPECT_EQ(loaded.support_vector_count(), model.support_vector_count());
+  EXPECT_DOUBLE_EQ(loaded.bias(), model.bias());
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    ASSERT_DOUBLE_EQ(loaded.predict(x), model.predict(x));
+  }
+}
+
+TEST(SvrIoTest, RoundTripEveryKernel) {
+  for (KernelKind kind : {KernelKind::kLinear, KernelKind::kPolynomial,
+                          KernelKind::kRbf, KernelKind::kSigmoid}) {
+    const auto model = trained_model(kind);
+    std::stringstream ss;
+    save_svr(ss, model);
+    const auto loaded = load_svr(ss);
+    EXPECT_EQ(loaded.kernel().kind, kind);
+    const std::vector<double> x = {0.3, 0.1};
+    EXPECT_DOUBLE_EQ(loaded.predict(x), model.predict(x));
+  }
+}
+
+TEST(SvrIoTest, EmptyModelRoundTrips) {
+  // A model with no support vectors (everything inside the tube).
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    data.add(Sample{{static_cast<double>(i)}, 1.0});
+  }
+  SvrParams params;
+  params.epsilon = 100.0;
+  const auto model = SvrModel::train(data, params);
+  ASSERT_EQ(model.support_vector_count(), 0u);
+  std::stringstream ss;
+  save_svr(ss, model);
+  const auto loaded = load_svr(ss);
+  EXPECT_EQ(loaded.support_vector_count(), 0u);
+  EXPECT_DOUBLE_EQ(loaded.bias(), model.bias());
+}
+
+TEST(SvrIoTest, BadMagicThrows) {
+  std::stringstream ss("not_a_model v9\n");
+  EXPECT_THROW((void)load_svr(ss), IoError);
+}
+
+TEST(SvrIoTest, TruncatedFileThrows) {
+  const auto model = trained_model();
+  std::stringstream ss;
+  save_svr(ss, model);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW((void)load_svr(truncated), IoError);
+}
+
+TEST(ScalerIoTest, RoundTrip) {
+  Dataset data;
+  data.add(Sample{{0.0, -5.0}, 0.0});
+  data.add(Sample{{10.0, 5.0}, 0.0});
+  const auto scaler = MinMaxScaler::fit(data);
+  std::stringstream ss;
+  save_scaler(ss, scaler);
+  const auto loaded = load_scaler(ss);
+  EXPECT_EQ(loaded.mins(), scaler.mins());
+  EXPECT_EQ(loaded.maxs(), scaler.maxs());
+}
+
+TEST(ScalerIoTest, BadMagicThrows) {
+  std::stringstream ss("vmtherm_scaler v999\n");
+  EXPECT_THROW((void)load_scaler(ss), IoError);
+}
+
+TEST(FileIoTest, SvrFileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "vmtherm_model_io_test.svr")
+          .string();
+  const auto model = trained_model();
+  save_svr_file(path, model);
+  const auto loaded = load_svr_file(path);
+  EXPECT_EQ(loaded.support_vector_count(), model.support_vector_count());
+  std::filesystem::remove(path);
+}
+
+TEST(FileIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_svr_file("/nonexistent/dir/model.svr"), IoError);
+  EXPECT_THROW((void)load_scaler_file("/nonexistent/dir/scaler.txt"), IoError);
+}
+
+TEST(FileIoTest, UnwritablePathThrows) {
+  const auto model = trained_model();
+  EXPECT_THROW(save_svr_file("/nonexistent/dir/model.svr", model), IoError);
+}
+
+}  // namespace
+}  // namespace vmtherm::ml

@@ -1,0 +1,88 @@
+// Tests for ml/scaler: range mapping, degenerate features, inverse.
+
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+namespace vmtherm::ml {
+namespace {
+
+Dataset two_feature_data() {
+  Dataset data;
+  data.add(Sample{{0.0, 10.0}, 1.0});
+  data.add(Sample{{5.0, 10.0}, 2.0});
+  data.add(Sample{{10.0, 10.0}, 3.0});
+  return data;
+}
+
+TEST(ScalerTest, FitOnEmptyThrows) {
+  EXPECT_THROW((void)MinMaxScaler::fit(Dataset{}), DataError);
+}
+
+TEST(ScalerTest, MapsRangeToMinusOnePlusOne) {
+  const auto scaler = MinMaxScaler::fit(two_feature_data());
+  const auto lo = scaler.transform(std::vector<double>{0.0, 10.0});
+  EXPECT_DOUBLE_EQ(lo[0], -1.0);
+  const auto mid = scaler.transform(std::vector<double>{5.0, 10.0});
+  EXPECT_DOUBLE_EQ(mid[0], 0.0);
+  const auto hi = scaler.transform(std::vector<double>{10.0, 10.0});
+  EXPECT_DOUBLE_EQ(hi[0], 1.0);
+}
+
+TEST(ScalerTest, ConstantFeatureMapsToZero) {
+  const auto scaler = MinMaxScaler::fit(two_feature_data());
+  const auto v = scaler.transform(std::vector<double>{5.0, 10.0});
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  // ... even for unseen values of the constant feature.
+  const auto w = scaler.transform(std::vector<double>{5.0, 99.0});
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
+TEST(ScalerTest, OutOfRangeExtrapolatesLinearly) {
+  const auto scaler = MinMaxScaler::fit(two_feature_data());
+  const auto v = scaler.transform(std::vector<double>{15.0, 10.0});
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  const auto w = scaler.transform(std::vector<double>{-5.0, 10.0});
+  EXPECT_DOUBLE_EQ(w[0], -2.0);
+}
+
+TEST(ScalerTest, DatasetTransformPreservesTargets) {
+  const auto data = two_feature_data();
+  const auto scaler = MinMaxScaler::fit(data);
+  const Dataset scaled = scaler.transform(data);
+  ASSERT_EQ(scaled.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scaled[i].y, data[i].y);
+  }
+}
+
+TEST(ScalerTest, InverseRoundTrip) {
+  const auto scaler = MinMaxScaler::fit(two_feature_data());
+  const std::vector<double> x = {7.3, 10.0};
+  const auto back = scaler.inverse(scaler.transform(x));
+  EXPECT_NEAR(back[0], 7.3, 1e-12);
+  EXPECT_NEAR(back[1], 10.0, 1e-12);  // constant feature restores to min
+}
+
+TEST(ScalerTest, DimensionMismatchThrows) {
+  const auto scaler = MinMaxScaler::fit(two_feature_data());
+  EXPECT_THROW((void)scaler.transform(std::vector<double>{1.0}), DataError);
+  EXPECT_THROW((void)scaler.inverse(std::vector<double>{1.0, 2.0, 3.0}),
+               DataError);
+}
+
+TEST(ScalerTest, ReconstructionValidatesRanges) {
+  EXPECT_THROW(MinMaxScaler({1.0}, {0.0}), ConfigError);     // min > max
+  EXPECT_THROW(MinMaxScaler({1.0, 2.0}, {3.0}), ConfigError);  // size mismatch
+  EXPECT_NO_THROW(MinMaxScaler({0.0}, {0.0}));  // constant feature is fine
+}
+
+TEST(ScalerTest, PersistedRangesBehaveLikeFitted) {
+  const auto fitted = MinMaxScaler::fit(two_feature_data());
+  const MinMaxScaler rebuilt(fitted.mins(), fitted.maxs());
+  const std::vector<double> x = {3.0, 10.0};
+  EXPECT_EQ(fitted.transform(x), rebuilt.transform(x));
+}
+
+}  // namespace
+}  // namespace vmtherm::ml

@@ -1,0 +1,204 @@
+// Cross-cutting property tests: parameterized sweeps over the invariants
+// the whole system rests on — thermal monotonicity, predictor physical
+// plausibility, SMO feasibility across hyper-parameters, and evaluation
+// harness gradients.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluator.h"
+#include "sim/thermal.h"
+#include "util/stats.h"
+
+namespace vmtherm {
+namespace {
+
+// -------------------------------------------------- thermal physics ------
+
+class ThermalPowerSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Powers, ThermalPowerSweep,
+                         ::testing::Values(30.0, 80.0, 150.0, 220.0, 300.0));
+
+TEST_P(ThermalPowerSweep, SteadyStateLinearInPower) {
+  sim::ThermalNetwork net(sim::ThermalParams{}, 22.0);
+  const double p = GetParam();
+  // T_ss - T_amb must be exactly R_total * P.
+  const double r_total = sim::ThermalParams{}.die_to_sink_resistance +
+                         sim::ThermalParams{}.sink_to_ambient(4);
+  EXPECT_NEAR(net.steady_state_die_c(p, 22.0, 4) - 22.0, r_total * p, 1e-9);
+}
+
+TEST_P(ThermalPowerSweep, TransientNeverOvershootsSteadyState) {
+  sim::ThermalNetwork net(sim::ThermalParams{}, 22.0);
+  const double p = GetParam();
+  const double target = net.steady_state_die_c(p, 22.0, 4);
+  for (int i = 0; i < 2000; ++i) {
+    net.step(5.0, p, 22.0, 4);
+    ASSERT_LE(net.die_temp_c(), target + 1e-6);
+  }
+}
+
+class ThermalFanSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Fans, ThermalFanSweep, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST_P(ThermalFanSweep, SteadyStateDecreasesWithEachExtraFan) {
+  sim::ThermalNetwork net(sim::ThermalParams{}, 22.0);
+  const int fans = GetParam();
+  if (fans >= 6) return;
+  EXPECT_GT(net.steady_state_die_c(200.0, 22.0, fans),
+            net.steady_state_die_c(200.0, 22.0, fans + 1));
+}
+
+// ---------------------------------------- profiling + corpus physics -----
+
+class CorpusSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusSeedSweep,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST_P(CorpusSeedSweep, EveryRecordIsPhysicallyPlausible) {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1200.0;
+  ranges.sample_interval_s = 10.0;
+  for (const auto& r : core::generate_corpus(ranges, 8, GetParam())) {
+    // Hotter than the room, colder than silicon limits.
+    EXPECT_GT(r.stable_temp_c, r.env_temp_c);
+    EXPECT_LT(r.stable_temp_c, 110.0);
+    // Feature sanity.
+    EXPECT_GE(r.vm.vm_count, 2.0);
+    EXPECT_LE(r.vm.vm_count, 12.0);
+    EXPECT_GE(r.vm.active_memory_gb, 0.0);
+    EXPECT_LE(r.vm.active_memory_gb, r.vm.total_memory_gb + 1e-9);
+    EXPECT_LE(r.vm.mean_util_demand, r.vm.max_util_demand + 1e-9);
+    double share_sum = 0.0;
+    for (double s : r.vm.task_share) share_sum += s;
+    EXPECT_NEAR(share_sum, 1.0, 1e-9);
+  }
+}
+
+// --------------------------------------------- trained model physics -----
+
+const core::StableTemperaturePredictor& shared_predictor() {
+  static const core::StableTemperaturePredictor predictor = [] {
+    sim::ScenarioRanges ranges;
+    ranges.duration_s = 1500.0;
+    ranges.sample_interval_s = 10.0;
+    core::StableTrainOptions options;
+    ml::SvrParams params;
+    params.kernel.gamma = 1.0 / 32;
+    params.c = 512.0;
+    params.epsilon = 0.05;
+    options.fixed_params = params;
+    return core::StableTemperaturePredictor::train(
+        core::generate_corpus(ranges, 250, 4040), options);
+  }();
+  return predictor;
+}
+
+class PredictorFanSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Fans, PredictorFanSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST_P(PredictorFanSweep, LearnedFanMonotonicity) {
+  // The trained SVR must have internalized "more fans -> cooler" on a busy
+  // box (the simulator's ground truth), fan count by fan count.
+  const auto server = sim::make_server_spec("medium");
+  sim::VmConfig burn;
+  burn.vcpus = 4;
+  burn.memory_gb = 4.0;
+  burn.task = sim::TaskType::kCpuBurn;
+  const std::vector<sim::VmConfig> vms = {burn, burn, burn};
+  const int fans = GetParam();
+  EXPECT_GT(shared_predictor().predict(server, vms, fans, 23.0),
+            shared_predictor().predict(server, vms, fans + 1, 23.0) - 0.2)
+      << "fans " << fans << " vs " << fans + 1;
+}
+
+class PredictorEnvSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Envs, PredictorEnvSweep,
+                         ::testing::Values(18.0, 21.0, 24.0, 27.0));
+
+TEST_P(PredictorEnvSweep, LearnedEnvironmentMonotonicity) {
+  const auto server = sim::make_server_spec("medium");
+  sim::VmConfig batch;
+  batch.vcpus = 4;
+  batch.memory_gb = 4.0;
+  batch.task = sim::TaskType::kBatch;
+  const std::vector<sim::VmConfig> vms = {batch, batch};
+  const double env = GetParam();
+  EXPECT_LT(shared_predictor().predict(server, vms, 4, env),
+            shared_predictor().predict(server, vms, 4, env + 3.0) + 0.2);
+}
+
+TEST(PredictorPhysicsTest, PredictionMatchesFreshExperiment) {
+  // Out-of-corpus spot check: predict a placement, then actually run it.
+  const auto server = sim::make_server_spec("medium");
+  sim::VmConfig web;
+  web.vcpus = 4;
+  web.memory_gb = 8.0;
+  web.task = sim::TaskType::kWebServer;
+  sim::VmConfig burn = web;
+  burn.task = sim::TaskType::kCpuBurn;
+  const std::vector<sim::VmConfig> vms = {web, burn, web};
+
+  const double predicted = shared_predictor().predict(server, vms, 4, 24.0);
+
+  sim::ExperimentConfig config;
+  config.server = server;
+  config.vms = vms;
+  config.active_fans = 4;
+  config.environment.base_c = 24.0;
+  config.initial_temp_c = 24.0;
+  config.duration_s = 1500.0;
+  config.sample_interval_s = 10.0;
+  config.seed = 31337;
+  const double measured =
+      core::stable_temperature(sim::run_experiment(config).trace);
+  EXPECT_NEAR(predicted, measured, 3.5);
+}
+
+// ----------------------------------------------- dynamic predictor -------
+
+class LambdaSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.8, 1.0));
+
+TEST_P(LambdaSweep, CalibrationConvergesForAllLambdas) {
+  core::DynamicOptions options;
+  options.learning_rate = GetParam();
+  core::DynamicTemperaturePredictor predictor(options);
+  predictor.begin(0.0, 30.0, 60.0);
+  for (double t = 15.0; t <= 1200.0; t += 15.0) {
+    predictor.observe(t, predictor.curve().value(t) + 2.5);
+  }
+  // gamma -> 2.5 for every lambda in (0, 1].
+  EXPECT_NEAR(predictor.calibration(), 2.5, 0.01) << GetParam();
+}
+
+class GapSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Gaps, GapSweep,
+                         ::testing::Values(15.0, 30.0, 60.0, 120.0));
+
+TEST_P(GapSweep, DynamicEvaluationProducesFiniteSmallErrors) {
+  sim::ScenarioRanges ranges;
+  ranges.duration_s = 1200.0;
+  ranges.sample_interval_s = 10.0;
+  const auto scenario = core::make_random_dynamic_scenario(ranges, 4, 88);
+  core::DynamicEvalOptions options;
+  options.gap_s = GetParam();
+  const auto result =
+      core::evaluate_dynamic(shared_predictor(), scenario, options);
+  EXPECT_TRUE(std::isfinite(result.mse));
+  EXPECT_LT(result.mse, 50.0);
+  EXPECT_GT(result.points.size(), 10u);
+}
+
+}  // namespace
+}  // namespace vmtherm

@@ -1,0 +1,134 @@
+// Tests for sim/cluster: multi-machine stepping and live migration.
+
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace vmtherm::sim {
+namespace {
+
+Cluster make_cluster(std::size_t machines = 2) {
+  EnvironmentSpec env;
+  env.base_c = 22.0;
+  env.fluctuation_stddev_c = 0.0;
+  Cluster cluster(env, Rng(1));
+  for (std::size_t i = 0; i < machines; ++i) {
+    MachineOptions options;
+    options.sensor.noise_stddev_c = 0.0;
+    options.sensor.quantization_c = 0.0;
+    cluster.add_machine(make_server_spec("medium"), options);
+  }
+  return cluster;
+}
+
+Vm make_vm(const std::string& id, double mem = 4.0) {
+  VmConfig config;
+  config.vcpus = 4;
+  config.memory_gb = mem;
+  config.task = TaskType::kCpuBurn;
+  return Vm(id, config, Rng(9));
+}
+
+TEST(ClusterTest, AddMachineReturnsIndices) {
+  auto cluster = make_cluster(3);
+  EXPECT_EQ(cluster.machine_count(), 3u);
+}
+
+TEST(ClusterTest, PlaceAndLocateVm) {
+  auto cluster = make_cluster();
+  cluster.place_vm(1, make_vm("a"));
+  EXPECT_EQ(cluster.host_of("a"), 1u);
+  EXPECT_THROW((void)cluster.host_of("ghost"), ConfigError);
+}
+
+TEST(ClusterTest, StepAdvancesAllMachines) {
+  auto cluster = make_cluster();
+  cluster.place_vm(0, make_vm("a"));
+  cluster.step(5.0);
+  EXPECT_DOUBLE_EQ(cluster.time_s(), 5.0);
+  EXPECT_DOUBLE_EQ(cluster.machine(0).time_s(), 5.0);
+  EXPECT_DOUBLE_EQ(cluster.machine(1).time_s(), 5.0);
+}
+
+TEST(ClusterTest, MigrationMovesVmAfterTransfer) {
+  auto cluster = make_cluster();
+  cluster.place_vm(0, make_vm("a", 4.0));  // 4 GB -> 10 s transfer
+  cluster.migrate("a", 1);
+  EXPECT_EQ(cluster.host_of("a"), 0u);  // still on source during pre-copy
+  for (int i = 0; i < 2; ++i) cluster.step(5.0);
+  // Transfer of 4 GB * 2.5 s/GB = 10 s completes at t=10.
+  EXPECT_EQ(cluster.host_of("a"), 1u);
+  ASSERT_EQ(cluster.completed_migrations().size(), 1u);
+  EXPECT_EQ(cluster.completed_migrations()[0].vm_id, "a");
+  EXPECT_EQ(cluster.completed_migrations()[0].to_machine, 1u);
+}
+
+TEST(ClusterTest, MigrationKeepsVmRunningDuringTransfer) {
+  auto cluster = make_cluster();
+  cluster.place_vm(0, make_vm("a", 8.0));  // 20 s transfer
+  cluster.migrate("a", 1);
+  cluster.step(5.0);
+  // Source still hosts and runs the VM.
+  EXPECT_TRUE(cluster.machine(0).has_vm("a"));
+  EXPECT_GT(cluster.machine(0).last_sample().utilization, 0.1);
+}
+
+TEST(ClusterTest, MigrationOverheadOnBothHosts) {
+  auto cluster = make_cluster();
+  cluster.place_vm(0, make_vm("a", 8.0));
+  // Baseline utilization of empty destination.
+  cluster.step(5.0);
+  const double dest_before = cluster.machine(1).last_sample().utilization;
+  cluster.migrate("a", 1);
+  cluster.step(5.0);
+  const double dest_during = cluster.machine(1).last_sample().utilization;
+  EXPECT_GT(dest_during, dest_before + 0.03);
+}
+
+TEST(ClusterTest, MigrationToSameMachineRejected) {
+  auto cluster = make_cluster();
+  cluster.place_vm(0, make_vm("a"));
+  EXPECT_THROW(cluster.migrate("a", 0), ConfigError);
+}
+
+TEST(ClusterTest, MigrationOfUnknownVmRejected) {
+  auto cluster = make_cluster();
+  EXPECT_THROW(cluster.migrate("ghost", 1), ConfigError);
+}
+
+TEST(ClusterTest, MigrationOutOfRangeDestinationRejected) {
+  auto cluster = make_cluster();
+  cluster.place_vm(0, make_vm("a"));
+  EXPECT_THROW(cluster.migrate("a", 5), ConfigError);
+}
+
+TEST(ClusterTest, DoubleMigrationRejected) {
+  auto cluster = make_cluster(3);
+  cluster.place_vm(0, make_vm("a", 16.0));  // long transfer
+  cluster.migrate("a", 1);
+  EXPECT_THROW(cluster.migrate("a", 2), ConfigError);
+}
+
+TEST(ClusterTest, MigrationRequiresDestinationMemory) {
+  auto cluster = make_cluster();
+  cluster.place_vm(0, make_vm("a", 10.0));
+  cluster.place_vm(1, make_vm("filler", 60.0));  // medium has 64 GB
+  EXPECT_THROW(cluster.migrate("a", 1), ConfigError);
+}
+
+TEST(ClusterTest, SourceCoolsAfterHotVmLeaves) {
+  auto cluster = make_cluster();
+  cluster.place_vm(0, make_vm("a", 4.0));
+  // Warm up the source.
+  for (int i = 0; i < 360; ++i) cluster.step(5.0);
+  const double hot = cluster.machine(0).thermal().die_temp_c();
+  cluster.migrate("a", 1);
+  for (int i = 0; i < 360; ++i) cluster.step(5.0);
+  const double cooled = cluster.machine(0).thermal().die_temp_c();
+  EXPECT_LT(cooled, hot - 3.0);
+  // And the destination warmed up.
+  EXPECT_GT(cluster.machine(1).thermal().die_temp_c(), cooled);
+}
+
+}  // namespace
+}  // namespace vmtherm::sim

@@ -1,0 +1,112 @@
+// Tests for sim/environment: schedules + fluctuation.
+
+#include "sim/environment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vmtherm::sim {
+namespace {
+
+EnvironmentSpec quiet(EnvScheduleKind kind) {
+  EnvironmentSpec spec;
+  spec.kind = kind;
+  spec.fluctuation_stddev_c = 0.0;  // deterministic for schedule tests
+  return spec;
+}
+
+TEST(EnvironmentTest, ConstantScheduleHoldsBase) {
+  EnvironmentSpec spec = quiet(EnvScheduleKind::kConstant);
+  spec.base_c = 24.0;
+  Environment env(spec, Rng(1));
+  EXPECT_DOUBLE_EQ(env.current_c(), 24.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(env.step(5.0), 24.0);
+  }
+}
+
+TEST(EnvironmentTest, DriftReachesBasePlusDelta) {
+  EnvironmentSpec spec = quiet(EnvScheduleKind::kDrift);
+  spec.base_c = 20.0;
+  spec.delta_c = 4.0;
+  spec.duration_s = 1000.0;
+  Environment env(spec, Rng(1));
+  EXPECT_DOUBLE_EQ(env.schedule_at(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(env.schedule_at(500.0), 22.0);
+  EXPECT_DOUBLE_EQ(env.schedule_at(1000.0), 24.0);
+  // Clamped past the end.
+  EXPECT_DOUBLE_EQ(env.schedule_at(5000.0), 24.0);
+}
+
+TEST(EnvironmentTest, DriftCanBeNegative) {
+  EnvironmentSpec spec = quiet(EnvScheduleKind::kDrift);
+  spec.base_c = 25.0;
+  spec.delta_c = -3.0;
+  spec.duration_s = 600.0;
+  Environment env(spec, Rng(1));
+  EXPECT_DOUBLE_EQ(env.schedule_at(600.0), 22.0);
+}
+
+TEST(EnvironmentTest, DiurnalOscillatesWithPeriod) {
+  EnvironmentSpec spec = quiet(EnvScheduleKind::kDiurnal);
+  spec.base_c = 22.0;
+  spec.amplitude_c = 2.0;
+  spec.period_s = 400.0;
+  Environment env(spec, Rng(1));
+  EXPECT_DOUBLE_EQ(env.schedule_at(0.0), 22.0);
+  EXPECT_NEAR(env.schedule_at(100.0), 24.0, 1e-9);   // quarter period: peak
+  EXPECT_NEAR(env.schedule_at(300.0), 20.0, 1e-9);   // three quarters: trough
+  EXPECT_NEAR(env.schedule_at(400.0), 22.0, 1e-9);   // full period
+}
+
+TEST(EnvironmentTest, StepJumpsAtStepTime) {
+  EnvironmentSpec spec = quiet(EnvScheduleKind::kStep);
+  spec.base_c = 22.0;
+  spec.delta_c = 3.0;
+  spec.step_time_s = 500.0;
+  Environment env(spec, Rng(1));
+  EXPECT_DOUBLE_EQ(env.schedule_at(499.9), 22.0);
+  EXPECT_DOUBLE_EQ(env.schedule_at(500.0), 25.0);
+  EXPECT_DOUBLE_EQ(env.schedule_at(900.0), 25.0);
+}
+
+TEST(EnvironmentTest, FluctuationStaysBounded) {
+  EnvironmentSpec spec;
+  spec.kind = EnvScheduleKind::kConstant;
+  spec.base_c = 22.0;
+  spec.fluctuation_stddev_c = 0.1;
+  Environment env(spec, Rng(7));
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) stats.add(env.step(5.0));
+  EXPECT_NEAR(stats.mean(), 22.0, 0.05);
+  EXPECT_LT(stats.stddev(), 0.25);
+  EXPECT_GT(stats.stddev(), 0.01);
+}
+
+TEST(EnvironmentTest, DeterministicGivenSeed) {
+  EnvironmentSpec spec;
+  spec.fluctuation_stddev_c = 0.2;
+  Environment a(spec, Rng(5));
+  Environment b(spec, Rng(5));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_DOUBLE_EQ(a.step(5.0), b.step(5.0));
+  }
+}
+
+TEST(EnvironmentTest, InvalidSpecRejected) {
+  EnvironmentSpec spec;
+  spec.base_c = -40.0;
+  EXPECT_THROW(Environment(spec, Rng(1)), ConfigError);
+  spec = EnvironmentSpec{};
+  spec.period_s = 0.0;
+  EXPECT_THROW(Environment(spec, Rng(1)), ConfigError);
+  spec = EnvironmentSpec{};
+  spec.fluctuation_stddev_c = -1.0;
+  EXPECT_THROW(Environment(spec, Rng(1)), ConfigError);
+}
+
+}  // namespace
+}  // namespace vmtherm::sim

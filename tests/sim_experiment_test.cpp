@@ -1,0 +1,166 @@
+// Tests for sim/experiment: experiment runner + randomized scenario sampler.
+
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace vmtherm::sim {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig config;
+  config.server = make_server_spec("medium");
+  VmConfig vm;
+  vm.vcpus = 4;
+  vm.memory_gb = 4.0;
+  vm.task = TaskType::kBatch;
+  config.vms = {vm, vm};
+  config.duration_s = 900.0;
+  config.sample_interval_s = 5.0;
+  config.active_fans = 4;
+  config.seed = 123;
+  return config;
+}
+
+TEST(RunExperimentTest, TraceCoversDuration) {
+  const auto result = run_experiment(small_config());
+  EXPECT_DOUBLE_EQ(result.trace.duration_s(), 900.0);
+  EXPECT_EQ(result.trace.size(), 181u);  // t=0 plus 180 samples
+  EXPECT_DOUBLE_EQ(result.trace[0].time_s, 0.0);
+}
+
+TEST(RunExperimentTest, DeterministicGivenConfig) {
+  const auto a = run_experiment(small_config());
+  const auto b = run_experiment(small_config());
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.trace[i].cpu_temp_sensed_c,
+                     b.trace[i].cpu_temp_sensed_c);
+  }
+}
+
+TEST(RunExperimentTest, DifferentSeedsDifferentTraces) {
+  auto config = small_config();
+  const auto a = run_experiment(config);
+  config.seed = 456;
+  const auto b = run_experiment(config);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    diff += std::abs(a.trace[i].cpu_temp_sensed_c -
+                     b.trace[i].cpu_temp_sensed_c);
+  }
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(RunExperimentTest, TemperatureRisesFromColdStart) {
+  const auto result = run_experiment(small_config());
+  const double first = result.trace[0].cpu_temp_true_c;
+  const double last = result.trace[result.trace.size() - 1].cpu_temp_true_c;
+  EXPECT_GT(last, first + 5.0);
+}
+
+TEST(RunExperimentTest, VmCountRecordedInTrace) {
+  const auto result = run_experiment(small_config());
+  for (const auto& p : result.trace.points()) {
+    EXPECT_EQ(p.vm_count, 2);
+  }
+}
+
+TEST(RunExperimentTest, InvalidConfigRejected) {
+  auto config = small_config();
+  config.active_fans = 99;
+  EXPECT_THROW((void)run_experiment(config), ConfigError);
+
+  config = small_config();
+  config.sample_interval_s = 0.0;
+  EXPECT_THROW((void)run_experiment(config), ConfigError);
+
+  config = small_config();
+  config.vms[0].memory_gb = 1000.0;
+  EXPECT_THROW((void)run_experiment(config), ConfigError);
+}
+
+TEST(ScenarioSamplerTest, DeterministicGivenSeed) {
+  ScenarioRanges ranges;
+  ScenarioSampler a(ranges, 99);
+  ScenarioSampler b(ranges, 99);
+  for (int i = 0; i < 10; ++i) {
+    const auto ca = a.next();
+    const auto cb = b.next();
+    EXPECT_EQ(ca.vms.size(), cb.vms.size());
+    EXPECT_EQ(ca.active_fans, cb.active_fans);
+    EXPECT_DOUBLE_EQ(ca.environment.base_c, cb.environment.base_c);
+    EXPECT_EQ(ca.seed, cb.seed);
+  }
+}
+
+class SamplerSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerSeedTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 123456));
+
+TEST_P(SamplerSeedTest, SampledConfigsRespectRanges) {
+  ScenarioRanges ranges;
+  ScenarioSampler sampler(ranges, GetParam());
+  for (const auto& config : sampler.sample(20)) {
+    EXPECT_NO_THROW(config.validate());
+    EXPECT_GE(static_cast<int>(config.vms.size()), ranges.min_vms);
+    EXPECT_LE(static_cast<int>(config.vms.size()), ranges.max_vms);
+    EXPECT_GE(config.active_fans, 1);
+    EXPECT_LE(config.active_fans, config.server.fan_slots);
+    EXPECT_GE(config.environment.base_c, ranges.min_env_c);
+    EXPECT_LE(config.environment.base_c, ranges.max_env_c);
+    double mem = 0.0;
+    for (const auto& vm : config.vms) mem += vm.memory_gb;
+    EXPECT_LE(mem, config.server.memory_gb);
+  }
+}
+
+TEST(ScenarioSamplerTest, ProducesVariety) {
+  ScenarioRanges ranges;
+  ScenarioSampler sampler(ranges, 7);
+  std::set<std::size_t> vm_counts;
+  std::set<int> fan_counts;
+  std::set<std::string> servers;
+  for (const auto& config : sampler.sample(60)) {
+    vm_counts.insert(config.vms.size());
+    fan_counts.insert(config.active_fans);
+    servers.insert(config.server.name);
+  }
+  EXPECT_GE(vm_counts.size(), 5u);
+  EXPECT_GE(fan_counts.size(), 3u);
+  EXPECT_GE(servers.size(), 2u);
+}
+
+TEST(ScenarioSamplerTest, InvalidRangesRejected) {
+  ScenarioRanges ranges;
+  ranges.min_vms = 5;
+  ranges.max_vms = 2;
+  EXPECT_THROW(ScenarioSampler(ranges, 1), ConfigError);
+
+  ranges = ScenarioRanges{};
+  ranges.server_kinds.clear();
+  EXPECT_THROW(ScenarioSampler(ranges, 1), ConfigError);
+}
+
+TEST(ScenarioSamplerTest, DynamicEnvironmentsAppearWithProbability) {
+  ScenarioRanges ranges;
+  ranges.dynamic_env_probability = 1.0;
+  ScenarioSampler sampler(ranges, 3);
+  for (const auto& config : sampler.sample(10)) {
+    EXPECT_NE(config.environment.kind, EnvScheduleKind::kConstant);
+  }
+
+  ranges.dynamic_env_probability = 0.0;
+  ScenarioSampler constant_sampler(ranges, 3);
+  for (const auto& config : constant_sampler.sample(10)) {
+    EXPECT_EQ(config.environment.kind, EnvScheduleKind::kConstant);
+  }
+}
+
+}  // namespace
+}  // namespace vmtherm::sim

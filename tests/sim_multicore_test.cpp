@@ -1,0 +1,162 @@
+// Tests for sim/multicore: per-core RC network and pinned-VM machine.
+
+#include "sim/multicore.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace vmtherm::sim {
+namespace {
+
+MultiCoreThermalParams small_params(int cores = 4) {
+  MultiCoreThermalParams p;
+  p.cores = cores;
+  return p;
+}
+
+TEST(MultiCoreThermalTest, ValidatesParameters) {
+  MultiCoreThermalParams p = small_params();
+  p.cores = 0;
+  EXPECT_THROW(MultiCoreThermalNetwork(p, 22.0), ConfigError);
+  p = small_params();
+  p.core_to_core_resistance = 0.0;
+  EXPECT_THROW(MultiCoreThermalNetwork(p, 22.0), ConfigError);
+}
+
+TEST(MultiCoreThermalTest, StartsUniform) {
+  MultiCoreThermalNetwork net(small_params(), 25.0);
+  for (int c = 0; c < net.cores(); ++c) {
+    EXPECT_DOUBLE_EQ(net.core_temp_c(c), 25.0);
+  }
+  EXPECT_DOUBLE_EQ(net.sink_temp_c(), 25.0);
+  EXPECT_DOUBLE_EQ(net.core_spread_c(), 0.0);
+}
+
+TEST(MultiCoreThermalTest, PowerSizeMismatchThrows) {
+  MultiCoreThermalNetwork net(small_params(4), 22.0);
+  EXPECT_THROW(net.step(1.0, {10.0, 10.0}, 22.0, 4), ConfigError);
+}
+
+TEST(MultiCoreThermalTest, UniformPowerKeepsCoresEqual) {
+  MultiCoreThermalNetwork net(small_params(4), 22.0);
+  const std::vector<double> watts(4, 20.0);
+  for (int i = 0; i < 500; ++i) net.step(5.0, watts, 22.0, 4);
+  EXPECT_LT(net.core_spread_c(), 1e-9);
+  EXPECT_GT(net.max_core_temp_c(), 30.0);
+}
+
+TEST(MultiCoreThermalTest, UnevenPowerCreatesSpread) {
+  MultiCoreThermalNetwork net(small_params(4), 22.0);
+  const std::vector<double> watts = {45.0, 5.0, 5.0, 5.0};
+  for (int i = 0; i < 500; ++i) net.step(5.0, watts, 22.0, 4);
+  EXPECT_GT(net.core_spread_c(), 3.0);
+  EXPECT_DOUBLE_EQ(net.max_core_temp_c(), net.core_temp_c(0));
+}
+
+TEST(MultiCoreThermalTest, LateralCouplingPullsNeighboursUp) {
+  // Only core 0 is powered; its ring neighbours (1 and 3) must end up
+  // warmer than the opposite core (2).
+  MultiCoreThermalNetwork net(small_params(4), 22.0);
+  const std::vector<double> watts = {40.0, 0.0, 0.0, 0.0};
+  for (int i = 0; i < 500; ++i) net.step(5.0, watts, 22.0, 4);
+  EXPECT_GT(net.core_temp_c(1), net.core_temp_c(2));
+  EXPECT_GT(net.core_temp_c(3), net.core_temp_c(2));
+  EXPECT_NEAR(net.core_temp_c(1), net.core_temp_c(3), 1e-9);  // symmetry
+}
+
+TEST(MultiCoreThermalTest, EnergyFlowsMatchTwoNodeModelInAggregate) {
+  // With uniform power, the multicore network behaves like the server-level
+  // model: steady state ~ ambient + total power * (R_cs/n + R_sa).
+  MultiCoreThermalParams p = small_params(8);
+  MultiCoreThermalNetwork net(p, 22.0);
+  const double per_core = 15.0;
+  const std::vector<double> watts(8, per_core);
+  for (int i = 0; i < 4000; ++i) net.step(5.0, watts, 22.0, 4);
+  const double total = per_core * 8;
+  const double expected =
+      22.0 + total * (p.core_to_sink_resistance / 8.0 + p.sink_to_ambient(4));
+  EXPECT_NEAR(net.max_core_temp_c(), expected, 0.3);
+}
+
+TEST(MultiCoreThermalTest, MoreFansCooler) {
+  MultiCoreThermalNetwork few(small_params(4), 22.0);
+  MultiCoreThermalNetwork many(small_params(4), 22.0);
+  const std::vector<double> watts(4, 25.0);
+  for (int i = 0; i < 500; ++i) {
+    few.step(5.0, watts, 22.0, 1);
+    many.step(5.0, watts, 22.0, 6);
+  }
+  EXPECT_GT(few.max_core_temp_c(), many.max_core_temp_c() + 3.0);
+}
+
+TEST(MultiCoreMachineTest, PinValidation) {
+  MultiCorePhysicalMachine machine(make_server_spec("medium"),
+                                   MultiCoreThermalParams{}, 4, 22.0, Rng(1));
+  VmConfig config;
+  config.vcpus = 2;
+  config.memory_gb = 4.0;
+  config.task = TaskType::kCpuBurn;
+  EXPECT_THROW(machine.add_vm(Vm("a", config, Rng(2)), {0}), ConfigError);
+  EXPECT_THROW(machine.add_vm(Vm("b", config, Rng(3)), {0, 99}), ConfigError);
+  machine.add_vm(Vm("c", config, Rng(4)), {0, 1});
+  EXPECT_EQ(machine.vm_count(), 1u);
+}
+
+TEST(MultiCoreMachineTest, AdjacentPinningHotterThanDistantAtEqualWork) {
+  // Same VM (same total power), two placements: vCPUs on adjacent cores
+  // (a thermal cluster) vs maximally spread cores. Adjacent cores deny
+  // each other lateral heat spreading, so the hottest core runs hotter.
+  auto hottest_core = [](std::vector<int> pins) {
+    MultiCorePhysicalMachine machine(make_server_spec("medium"),
+                                     MultiCoreThermalParams{}, 4, 22.0,
+                                     Rng(1));
+    VmConfig config;
+    config.vcpus = 4;
+    config.memory_gb = 4.0;
+    config.task = TaskType::kCpuBurn;
+    machine.add_vm(Vm("vm", config, Rng(10)), std::move(pins));
+    for (int i = 0; i < 400; ++i) machine.step(5.0, 22.0);
+    return machine.thermal().max_core_temp_c();
+  };
+  const double adjacent = hottest_core({0, 1, 2, 3});
+  const double distant = hottest_core({0, 4, 8, 12});
+  EXPECT_GT(adjacent, distant + 0.5);
+}
+
+TEST(MultiCoreMachineTest, SpreadVisibleOnlyAtCoreGranularity) {
+  // The headline of the extension: a busy-corner placement produces a
+  // per-core spread that the server-level model (single temperature)
+  // cannot express.
+  MultiCorePhysicalMachine machine(make_server_spec("medium"),
+                                   MultiCoreThermalParams{}, 4, 22.0, Rng(1));
+  VmConfig config;
+  config.vcpus = 4;
+  config.memory_gb = 4.0;
+  config.task = TaskType::kCpuBurn;
+  machine.add_vm(Vm("hot", config, Rng(2)), {0, 1, 2, 3});
+  for (int i = 0; i < 400; ++i) machine.step(5.0, 22.0);
+  EXPECT_GT(machine.thermal().core_spread_c(), 3.0);
+}
+
+TEST(MultiCoreMachineTest, UtilizationSaturatesPerCore) {
+  MultiCorePhysicalMachine machine(make_server_spec("medium"),
+                                   MultiCoreThermalParams{}, 4, 22.0, Rng(1));
+  VmConfig config;
+  config.vcpus = 2;
+  config.memory_gb = 4.0;
+  config.task = TaskType::kCpuBurn;
+  // Three cpu-burn vCPU pairs all pinned to cores {0, 1}.
+  for (int v = 0; v < 3; ++v) {
+    machine.add_vm(Vm("vm" + std::to_string(v), config,
+                      Rng(20 + static_cast<std::uint64_t>(v))),
+                   {0, 1});
+  }
+  const auto& util = machine.step(5.0, 22.0);
+  EXPECT_DOUBLE_EQ(util[0], 1.0);
+  EXPECT_DOUBLE_EQ(util[1], 1.0);
+  EXPECT_LT(util[2], 0.01);
+}
+
+}  // namespace
+}  // namespace vmtherm::sim

@@ -1,0 +1,81 @@
+// Tests for sim/sensor: noise, quantization, bias.
+
+#include "sim/sensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vmtherm::sim {
+namespace {
+
+TEST(SensorTest, NoiselessUnquantizedIsIdentity) {
+  SensorSpec spec;
+  spec.noise_stddev_c = 0.0;
+  spec.quantization_c = 0.0;
+  TemperatureSensor sensor(spec, Rng(1));
+  EXPECT_DOUBLE_EQ(sensor.read(54.321), 54.321);
+}
+
+TEST(SensorTest, QuantizationSnapsToGrid) {
+  SensorSpec spec;
+  spec.noise_stddev_c = 0.0;
+  spec.quantization_c = 0.5;
+  TemperatureSensor sensor(spec, Rng(1));
+  EXPECT_DOUBLE_EQ(sensor.read(54.30), 54.5);
+  EXPECT_DOUBLE_EQ(sensor.read(54.20), 54.0);
+  EXPECT_DOUBLE_EQ(sensor.read(54.75), 55.0);  // round half up at .75/0.5
+}
+
+TEST(SensorTest, ReadingsAreOnQuantizationGrid) {
+  SensorSpec spec;  // defaults: noise 0.3, quantization 0.25
+  TemperatureSensor sensor(spec, Rng(2));
+  for (int i = 0; i < 1000; ++i) {
+    const double r = sensor.read(50.0);
+    const double steps = r / spec.quantization_c;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9);
+  }
+}
+
+TEST(SensorTest, NoiseHasDeclaredSpread) {
+  SensorSpec spec;
+  spec.noise_stddev_c = 0.4;
+  spec.quantization_c = 0.0;
+  TemperatureSensor sensor(spec, Rng(3));
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(sensor.read(60.0));
+  EXPECT_NEAR(stats.mean(), 60.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 0.4, 0.02);
+}
+
+TEST(SensorTest, BiasShiftsReadings) {
+  SensorSpec spec;
+  spec.noise_stddev_c = 0.0;
+  spec.quantization_c = 0.0;
+  spec.bias_c = 1.5;
+  TemperatureSensor sensor(spec, Rng(4));
+  EXPECT_DOUBLE_EQ(sensor.read(40.0), 41.5);
+}
+
+TEST(SensorTest, DeterministicGivenSeed) {
+  SensorSpec spec;
+  TemperatureSensor a(spec, Rng(9));
+  TemperatureSensor b(spec, Rng(9));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_DOUBLE_EQ(a.read(55.0), b.read(55.0));
+  }
+}
+
+TEST(SensorTest, InvalidSpecRejected) {
+  SensorSpec spec;
+  spec.noise_stddev_c = -0.1;
+  EXPECT_THROW(TemperatureSensor(spec, Rng(1)), ConfigError);
+  spec = SensorSpec{};
+  spec.quantization_c = -1.0;
+  EXPECT_THROW(TemperatureSensor(spec, Rng(1)), ConfigError);
+}
+
+}  // namespace
+}  // namespace vmtherm::sim

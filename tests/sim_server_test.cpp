@@ -1,0 +1,115 @@
+// Tests for sim/server: spec validation, fan law, presets.
+
+#include "sim/server.h"
+
+#include <gtest/gtest.h>
+
+namespace vmtherm::sim {
+namespace {
+
+TEST(PowerEnvelopeTest, DefaultValidates) {
+  PowerEnvelope p;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(PowerEnvelopeTest, RejectsInvertedPower) {
+  PowerEnvelope p;
+  p.max_cpu_watts = p.idle_watts - 1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(PowerEnvelopeTest, RejectsNegativeIdle) {
+  PowerEnvelope p;
+  p.idle_watts = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(PowerEnvelopeTest, RejectsCrazyExponent) {
+  PowerEnvelope p;
+  p.cpu_exponent = 0.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p.cpu_exponent = 2.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ThermalParamsTest, DefaultValidates) {
+  ThermalParams t;
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(ThermalParamsTest, FanLawAtReferenceIsNominal) {
+  ThermalParams t;
+  EXPECT_DOUBLE_EQ(t.sink_to_ambient(t.reference_fans),
+                   t.sink_to_ambient_resistance);
+}
+
+TEST(ThermalParamsTest, MoreFansLowerResistance) {
+  ThermalParams t;
+  double prev = t.sink_to_ambient(1);
+  for (int f = 2; f <= 8; ++f) {
+    const double r = t.sink_to_ambient(f);
+    EXPECT_LT(r, prev) << "fans=" << f;
+    prev = r;
+  }
+}
+
+TEST(ThermalParamsTest, FanCountMustBePositive) {
+  ThermalParams t;
+  EXPECT_THROW((void)t.sink_to_ambient(0), ConfigError);
+  EXPECT_THROW((void)t.sink_to_ambient(-1), ConfigError);
+}
+
+TEST(ServerSpecTest, CpuCapacityIsCoresTimesGhz) {
+  ServerSpec s;
+  s.physical_cores = 16;
+  s.core_ghz = 2.5;
+  EXPECT_DOUBLE_EQ(s.cpu_capacity_ghz(), 40.0);
+}
+
+TEST(ServerSpecTest, DefaultValidates) {
+  ServerSpec s;
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(ServerSpecTest, RejectsEmptyName) {
+  ServerSpec s;
+  s.name = "";
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(ServerSpecTest, RejectsNonPositiveResources) {
+  ServerSpec s;
+  s.physical_cores = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = ServerSpec{};
+  s.memory_gb = 0.0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = ServerSpec{};
+  s.fan_slots = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(MakeServerSpecTest, KnownKindsValidate) {
+  for (const char* kind : {"small", "medium", "large"}) {
+    const ServerSpec s = make_server_spec(kind);
+    EXPECT_NO_THROW(s.validate()) << kind;
+  }
+}
+
+TEST(MakeServerSpecTest, KindsAreOrderedBySize) {
+  const ServerSpec small = make_server_spec("small");
+  const ServerSpec medium = make_server_spec("medium");
+  const ServerSpec large = make_server_spec("large");
+  EXPECT_LT(small.cpu_capacity_ghz(), medium.cpu_capacity_ghz());
+  EXPECT_LT(medium.cpu_capacity_ghz(), large.cpu_capacity_ghz());
+  EXPECT_LT(small.memory_gb, medium.memory_gb);
+  EXPECT_LT(medium.memory_gb, large.memory_gb);
+  EXPECT_LT(small.power.max_cpu_watts, large.power.max_cpu_watts);
+}
+
+TEST(MakeServerSpecTest, UnknownKindThrows) {
+  EXPECT_THROW((void)make_server_spec("gargantuan"), ConfigError);
+}
+
+}  // namespace
+}  // namespace vmtherm::sim

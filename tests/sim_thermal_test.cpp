@@ -1,0 +1,146 @@
+// Tests for sim/thermal: RC network physics.
+
+#include "sim/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vmtherm::sim {
+namespace {
+
+ThermalParams default_params() { return ThermalParams{}; }
+
+TEST(ThermalNetworkTest, StartsAtInitialTemperature) {
+  ThermalNetwork net(default_params(), 25.0);
+  EXPECT_DOUBLE_EQ(net.die_temp_c(), 25.0);
+  EXPECT_DOUBLE_EQ(net.sink_temp_c(), 25.0);
+}
+
+TEST(ThermalNetworkTest, ConvergesToAnalyticSteadyState) {
+  ThermalNetwork net(default_params(), 22.0);
+  const double power = 180.0;
+  const double ambient = 22.0;
+  const int fans = 4;
+  const double expected = net.steady_state_die_c(power, ambient, fans);
+  // Run long past the slow time constant.
+  const double horizon = 12.0 * net.slow_time_constant_s(fans);
+  for (double t = 0.0; t < horizon; t += 5.0) {
+    net.step(5.0, power, ambient, fans);
+  }
+  EXPECT_NEAR(net.die_temp_c(), expected, 0.05);
+}
+
+TEST(ThermalNetworkTest, SteadyStateFormula) {
+  ThermalParams p = default_params();
+  ThermalNetwork net(p, 20.0);
+  const double expected =
+      25.0 + 100.0 * (p.die_to_sink_resistance + p.sink_to_ambient(4));
+  EXPECT_NEAR(net.steady_state_die_c(100.0, 25.0, 4), expected, 1e-12);
+}
+
+TEST(ThermalNetworkTest, ZeroPowerDecaysToAmbient) {
+  ThermalNetwork net(default_params(), 70.0);
+  for (int i = 0; i < 2000; ++i) net.step(5.0, 0.0, 22.0, 4);
+  EXPECT_NEAR(net.die_temp_c(), 22.0, 0.1);
+  EXPECT_NEAR(net.sink_temp_c(), 22.0, 0.1);
+}
+
+TEST(ThermalNetworkTest, TemperatureRiseIsMonotonicFromCold) {
+  ThermalNetwork net(default_params(), 22.0);
+  double prev = net.die_temp_c();
+  for (int i = 0; i < 200; ++i) {
+    net.step(5.0, 200.0, 22.0, 4);
+    EXPECT_GE(net.die_temp_c(), prev - 1e-9);
+    prev = net.die_temp_c();
+  }
+}
+
+TEST(ThermalNetworkTest, MorePowerMeansHotter) {
+  ThermalNetwork low(default_params(), 22.0);
+  ThermalNetwork high(default_params(), 22.0);
+  for (int i = 0; i < 500; ++i) {
+    low.step(5.0, 100.0, 22.0, 4);
+    high.step(5.0, 220.0, 22.0, 4);
+  }
+  EXPECT_GT(high.die_temp_c(), low.die_temp_c() + 5.0);
+}
+
+TEST(ThermalNetworkTest, MoreFansMeansCooler) {
+  ThermalNetwork few(default_params(), 22.0);
+  ThermalNetwork many(default_params(), 22.0);
+  for (int i = 0; i < 500; ++i) {
+    few.step(5.0, 200.0, 22.0, 1);
+    many.step(5.0, 200.0, 22.0, 6);
+  }
+  EXPECT_GT(few.die_temp_c(), many.die_temp_c() + 3.0);
+}
+
+TEST(ThermalNetworkTest, HotterAmbientShiftsSteadyState) {
+  ThermalNetwork net(default_params(), 20.0);
+  const double a = net.steady_state_die_c(150.0, 18.0, 4);
+  const double b = net.steady_state_die_c(150.0, 30.0, 4);
+  EXPECT_NEAR(b - a, 12.0, 1e-9);  // ambient shifts 1:1
+}
+
+TEST(ThermalNetworkTest, DieLeadsSinkDuringHeating) {
+  ThermalNetwork net(default_params(), 22.0);
+  for (int i = 0; i < 20; ++i) net.step(5.0, 200.0, 22.0, 4);
+  EXPECT_GT(net.die_temp_c(), net.sink_temp_c());
+}
+
+TEST(ThermalNetworkTest, StepResponseIsExponentialNotLogarithmic) {
+  // The half-way settling point of an exponential comes much later than a
+  // log curve's: verify the distinctive slow tail that motivates the
+  // paper's run-time calibration.
+  ThermalNetwork net(default_params(), 22.0);
+  const double target = net.steady_state_die_c(200.0, 22.0, 4);
+  const double tau = net.slow_time_constant_s(4);
+  // After one slow time constant the gap should be roughly exp(-1) of the
+  // initial gap (within tolerance; the fast mode skews it slightly).
+  double remaining = 0.0;
+  for (double t = 0.0; t < tau; t += 1.0) net.step(1.0, 200.0, 22.0, 4);
+  remaining = (target - net.die_temp_c()) / (target - 22.0);
+  EXPECT_GT(remaining, 0.15);
+  EXPECT_LT(remaining, 0.55);
+}
+
+TEST(ThermalNetworkTest, NegativeOrZeroDtIsNoop) {
+  ThermalNetwork net(default_params(), 30.0);
+  net.step(0.0, 500.0, 22.0, 4);
+  EXPECT_DOUBLE_EQ(net.die_temp_c(), 30.0);
+  net.step(-5.0, 500.0, 22.0, 4);
+  EXPECT_DOUBLE_EQ(net.die_temp_c(), 30.0);
+}
+
+TEST(ThermalNetworkTest, ResetForcesState) {
+  ThermalNetwork net(default_params(), 22.0);
+  net.reset(55.0, 48.0);
+  EXPECT_DOUBLE_EQ(net.die_temp_c(), 55.0);
+  EXPECT_DOUBLE_EQ(net.sink_temp_c(), 48.0);
+}
+
+TEST(ThermalNetworkTest, LargeStepMatchesManySmallSteps) {
+  // Sub-stepping makes a single 60 s call equivalent to 60 x 1 s calls
+  // (both well-resolved).
+  ThermalNetwork a(default_params(), 22.0);
+  ThermalNetwork b(default_params(), 22.0);
+  a.step(60.0, 200.0, 22.0, 4);
+  for (int i = 0; i < 60; ++i) b.step(1.0, 200.0, 22.0, 4);
+  EXPECT_NEAR(a.die_temp_c(), b.die_temp_c(), 0.05);
+  EXPECT_NEAR(a.sink_temp_c(), b.sink_temp_c(), 0.05);
+}
+
+TEST(ThermalNetworkTest, SlowTimeConstantDependsOnFans) {
+  ThermalNetwork net(default_params(), 22.0);
+  EXPECT_GT(net.slow_time_constant_s(1), net.slow_time_constant_s(6));
+}
+
+TEST(ThermalNetworkTest, InvalidParamsRejectedAtConstruction) {
+  ThermalParams p;
+  p.die_capacitance_j_per_k = -1.0;
+  EXPECT_THROW(ThermalNetwork(p, 22.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace vmtherm::sim

@@ -1,0 +1,109 @@
+// Tests for sim/trace: window statistics, interpolation, CSV export.
+
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace vmtherm::sim {
+namespace {
+
+TemperatureTrace make_ramp_trace() {
+  // t = 0, 10, ..., 100; sensed = t / 10 (0..10), true = sensed + 0.5.
+  TemperatureTrace trace(10.0);
+  for (int i = 0; i <= 10; ++i) {
+    TracePoint p;
+    p.time_s = 10.0 * i;
+    p.cpu_temp_sensed_c = static_cast<double>(i);
+    p.cpu_temp_true_c = static_cast<double>(i) + 0.5;
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+TEST(TraceTest, EmptyProperties) {
+  TemperatureTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 0.0);
+}
+
+TEST(TraceTest, InvalidIntervalThrows) {
+  EXPECT_THROW(TemperatureTrace(0.0), ConfigError);
+  EXPECT_THROW(TemperatureTrace(-1.0), ConfigError);
+}
+
+TEST(TraceTest, SizeAndDuration) {
+  const auto trace = make_ramp_trace();
+  EXPECT_EQ(trace.size(), 11u);
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 100.0);
+  EXPECT_DOUBLE_EQ(trace.interval_s(), 10.0);
+}
+
+TEST(TraceTest, TempVectors) {
+  const auto trace = make_ramp_trace();
+  const auto sensed = trace.sensed_temps();
+  const auto truth = trace.true_temps();
+  ASSERT_EQ(sensed.size(), 11u);
+  EXPECT_DOUBLE_EQ(sensed[3], 3.0);
+  EXPECT_DOUBLE_EQ(truth[3], 3.5);
+}
+
+TEST(TraceTest, MeanBetweenInclusiveWindow) {
+  const auto trace = make_ramp_trace();
+  // Points at 50..100 -> sensed 5..10, mean 7.5.
+  EXPECT_DOUBLE_EQ(trace.mean_sensed_between(50.0, 100.0), 7.5);
+  EXPECT_DOUBLE_EQ(trace.mean_true_between(50.0, 100.0), 8.0);
+}
+
+TEST(TraceTest, MeanBetweenSinglePoint) {
+  const auto trace = make_ramp_trace();
+  EXPECT_DOUBLE_EQ(trace.mean_sensed_between(30.0, 30.0), 3.0);
+}
+
+TEST(TraceTest, MeanBetweenEmptyWindowThrows) {
+  const auto trace = make_ramp_trace();
+  EXPECT_THROW((void)trace.mean_sensed_between(101.0, 200.0), DataError);
+  EXPECT_THROW((void)trace.mean_sensed_between(33.0, 36.0), DataError);
+}
+
+TEST(TraceTest, SensedAtExactPoints) {
+  const auto trace = make_ramp_trace();
+  EXPECT_DOUBLE_EQ(trace.sensed_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.sensed_at(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(trace.sensed_at(100.0), 10.0);
+}
+
+TEST(TraceTest, SensedAtInterpolates) {
+  const auto trace = make_ramp_trace();
+  EXPECT_NEAR(trace.sensed_at(25.0), 2.5, 1e-12);
+  EXPECT_NEAR(trace.sensed_at(99.0), 9.9, 1e-12);
+}
+
+TEST(TraceTest, SensedAtClampsToEnds) {
+  const auto trace = make_ramp_trace();
+  EXPECT_DOUBLE_EQ(trace.sensed_at(-50.0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.sensed_at(1e9), 10.0);
+}
+
+TEST(TraceTest, SensedAtEmptyThrows) {
+  TemperatureTrace trace;
+  EXPECT_THROW((void)trace.sensed_at(0.0), DataError);
+}
+
+TEST(TraceTest, CsvExportParsesBack) {
+  const auto trace = make_ramp_trace();
+  std::ostringstream oss;
+  trace.write_csv(oss);
+  std::istringstream iss(oss.str());
+  const CsvDocument doc = read_csv(iss);
+  EXPECT_EQ(doc.rows.size(), trace.size());
+  EXPECT_EQ(doc.column("time_s"), 0u);
+  EXPECT_EQ(doc.rows[5][doc.column("cpu_temp_sensed_c")], "5.0000");
+}
+
+}  // namespace
+}  // namespace vmtherm::sim

@@ -1,0 +1,123 @@
+// Tests for sim/workload: generator properties across all task types.
+
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace vmtherm::sim {
+namespace {
+
+class WorkloadTypeTest : public ::testing::TestWithParam<TaskType> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, WorkloadTypeTest, ::testing::ValuesIn(all_task_types()),
+    [](const ::testing::TestParamInfo<TaskType>& info) {
+      return task_type_name(info.param);
+    });
+
+TEST_P(WorkloadTypeTest, UtilizationStaysInUnitInterval) {
+  auto model = make_utilization_model(GetParam(), Rng(1));
+  for (int i = 0; i < 2000; ++i) {
+    const double u = model->step(5.0);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LE(u, 1.0);
+  }
+}
+
+TEST_P(WorkloadTypeTest, LongRunMeanMatchesDeclaredDemand) {
+  // Average several seeds: each generator's realized long-run mean should
+  // approach task_type_mean_utilization.
+  RunningStats stats;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto model = make_utilization_model(GetParam(), Rng(seed));
+    for (int i = 0; i < 3000; ++i) stats.add(model->step(5.0));
+  }
+  EXPECT_NEAR(stats.mean(), task_type_mean_utilization(GetParam()), 0.06)
+      << task_type_name(GetParam());
+}
+
+TEST_P(WorkloadTypeTest, ModelMeanAccessorMatchesDeclared) {
+  auto model = make_utilization_model(GetParam(), Rng(3));
+  EXPECT_NEAR(model->mean_utilization(),
+              task_type_mean_utilization(GetParam()), 0.02);
+}
+
+TEST_P(WorkloadTypeTest, DeterministicGivenSeed) {
+  auto a = make_utilization_model(GetParam(), Rng(77));
+  auto b = make_utilization_model(GetParam(), Rng(77));
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_DOUBLE_EQ(a->step(5.0), b->step(5.0));
+  }
+}
+
+TEST_P(WorkloadTypeTest, DifferentSeedsProduceDifferentPaths) {
+  auto a = make_utilization_model(GetParam(), Rng(1));
+  auto b = make_utilization_model(GetParam(), Rng(2));
+  double total_diff = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    total_diff += std::abs(a->step(5.0) - b->step(5.0));
+  }
+  // Idle is nearly deterministic at ~0.02 but still noise-driven; any
+  // nonzero accumulated difference suffices.
+  EXPECT_GT(total_diff, 0.0);
+}
+
+TEST(WorkloadNamesTest, NameRoundTrip) {
+  for (TaskType t : all_task_types()) {
+    EXPECT_EQ(task_type_from_name(task_type_name(t)), t);
+  }
+}
+
+TEST(WorkloadNamesTest, UnknownNameThrows) {
+  EXPECT_THROW((void)task_type_from_name("quantum"), ConfigError);
+}
+
+TEST(WorkloadSemanticsTest, CpuBurnHotterThanIdle) {
+  EXPECT_GT(task_type_mean_utilization(TaskType::kCpuBurn),
+            task_type_mean_utilization(TaskType::kIdle) + 0.5);
+}
+
+TEST(WorkloadSemanticsTest, MemoryBoundHasHighestMemoryActivity) {
+  for (TaskType t : all_task_types()) {
+    if (t == TaskType::kMemoryBound) continue;
+    EXPECT_GT(task_type_memory_activity(TaskType::kMemoryBound),
+              task_type_memory_activity(t));
+  }
+}
+
+TEST(WorkloadSemanticsTest, MemoryActivityInUnitInterval) {
+  for (TaskType t : all_task_types()) {
+    EXPECT_GE(task_type_memory_activity(t), 0.0);
+    EXPECT_LE(task_type_memory_activity(t), 1.0);
+  }
+}
+
+TEST(BurstyWorkloadTest, VisitsBothRegimes) {
+  auto model = make_utilization_model(TaskType::kBursty, Rng(5));
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = model->step(5.0);
+    if (u < 0.2) ++low;
+    if (u > 0.45) ++high;
+  }
+  EXPECT_GT(low, 50);
+  EXPECT_GT(high, 50);
+}
+
+TEST(DiurnalWorkloadTest, OscillatesAroundMean) {
+  auto model = make_utilization_model(TaskType::kWebServer, Rng(6));
+  RunningStats stats;
+  for (int i = 0; i < 2000; ++i) stats.add(model->step(5.0));
+  // Amplitude 0.25 -> visible spread well above measurement noise.
+  EXPECT_GT(stats.stddev(), 0.10);
+  EXPECT_LT(stats.stddev(), 0.35);
+}
+
+}  // namespace
+}  // namespace vmtherm::sim

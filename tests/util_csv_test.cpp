@@ -1,0 +1,122 @@
+// Tests for util/csv: parsing, quoting, errors.
+
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace vmtherm {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscapeTest, CommaQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlineQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriterTest, WritesRows) {
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  w.write_row({"a", "b"});
+  w.write_row({"1", "x,y"});
+  EXPECT_EQ(oss.str(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(CsvReadTest, SimpleDocument) {
+  std::istringstream iss("h1,h2\n1,2\n3,4\n");
+  const CsvDocument doc = read_csv(iss);
+  ASSERT_EQ(doc.header.size(), 2u);
+  EXPECT_EQ(doc.header[0], "h1");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(CsvReadTest, EmptyStream) {
+  std::istringstream iss("");
+  const CsvDocument doc = read_csv(iss);
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_TRUE(doc.rows.empty());
+}
+
+TEST(CsvReadTest, QuotedFieldsWithCommasAndNewlines) {
+  std::istringstream iss("a,b\n\"x,y\",\"line1\nline2\"\n");
+  const CsvDocument doc = read_csv(iss);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "x,y");
+  EXPECT_EQ(doc.rows[0][1], "line1\nline2");
+}
+
+TEST(CsvReadTest, EscapedQuotes) {
+  std::istringstream iss("a\n\"he said \"\"hi\"\"\"\n");
+  const CsvDocument doc = read_csv(iss);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "he said \"hi\"");
+}
+
+TEST(CsvReadTest, ToleratesCrLf) {
+  std::istringstream iss("a,b\r\n1,2\r\n");
+  const CsvDocument doc = read_csv(iss);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "1");
+}
+
+TEST(CsvReadTest, MissingFinalNewlineOk) {
+  std::istringstream iss("a,b\n1,2");
+  const CsvDocument doc = read_csv(iss);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvReadTest, RaggedRowThrows) {
+  std::istringstream iss("a,b\n1,2,3\n");
+  EXPECT_THROW((void)read_csv(iss), IoError);
+}
+
+TEST(CsvReadTest, UnterminatedQuoteThrows) {
+  std::istringstream iss("a\n\"open\n");
+  EXPECT_THROW((void)read_csv(iss), IoError);
+}
+
+TEST(CsvDocumentTest, ColumnLookup) {
+  std::istringstream iss("x,y,z\n1,2,3\n");
+  const CsvDocument doc = read_csv(iss);
+  EXPECT_EQ(doc.column("x"), 0u);
+  EXPECT_EQ(doc.column("z"), 2u);
+  EXPECT_THROW((void)doc.column("missing"), IoError);
+}
+
+TEST(CsvReadFileTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/path.csv"), IoError);
+}
+
+TEST(CsvRoundTripTest, WriteThenRead) {
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  w.write_row({"name", "value"});
+  w.write_row({"weird,one", "has \"quotes\""});
+  w.write_row({"multi\nline", "plain"});
+
+  std::istringstream iss(oss.str());
+  const CsvDocument doc = read_csv(iss);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "weird,one");
+  EXPECT_EQ(doc.rows[0][1], "has \"quotes\"");
+  EXPECT_EQ(doc.rows[1][0], "multi\nline");
+}
+
+}  // namespace
+}  // namespace vmtherm

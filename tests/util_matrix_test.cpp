@@ -1,0 +1,165 @@
+// Tests for util/matrix: products, solvers, error handling.
+
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace vmtherm {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+}
+
+TEST(MatrixTest, IdentityProperties) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5; b(0, 1) = 6;
+  b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoop) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Matrix c = Matrix::identity(2).multiply(a);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(c(i, j), a(i, j));
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 2);
+  EXPECT_THROW((void)a.multiply(b), ConfigError);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix a(2, 3);
+  a(0, 2) = 7.0;
+  a(1, 0) = -1.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -1.0);
+}
+
+TEST(MatrixTest, AddScaledIdentity) {
+  Matrix a(2, 2, 1.0);
+  const Matrix b = a.add_scaled_identity(0.5);
+  EXPECT_DOUBLE_EQ(b(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(b(0, 1), 1.0);
+  Matrix rect(2, 3);
+  EXPECT_THROW((void)rect.add_scaled_identity(1.0), ConfigError);
+}
+
+TEST(CholeskySolveTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [2,3] -> x = [0, 1]
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 3;
+  const std::vector<double> b = {2.0, 3.0};
+  const auto x = cholesky_solve(a, b);
+  EXPECT_NEAR(x[0], 0.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(CholeskySolveTest, RandomSpdRoundTrip) {
+  Rng rng(5);
+  const std::size_t n = 6;
+  // A = M^T M + I is SPD.
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  const Matrix a = m.transposed().multiply(m).add_scaled_identity(1.0);
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-2.0, 2.0);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_true[j];
+  }
+  const auto x = cholesky_solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(CholeskySolveTest, NonSpdThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  EXPECT_THROW((void)cholesky_solve(a, {1.0, 1.0}), NumericError);
+}
+
+TEST(CholeskySolveTest, DimensionMismatchThrows) {
+  Matrix a(2, 2);
+  EXPECT_THROW((void)cholesky_solve(a, {1.0}), ConfigError);
+  Matrix rect(2, 3);
+  EXPECT_THROW((void)cholesky_solve(rect, {1.0, 1.0}), ConfigError);
+}
+
+TEST(GaussianSolveTest, SolvesGeneralSystem) {
+  // Non-symmetric system.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 2.0;  // needs pivoting
+  a(1, 0) = 1.0; a(1, 1) = 1.0;
+  const auto x = gaussian_solve(a, {4.0, 3.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(GaussianSolveTest, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_THROW((void)gaussian_solve(a, {1.0, 2.0}), NumericError);
+}
+
+TEST(GaussianSolveTest, RandomRoundTrip) {
+  Rng rng(9);
+  const std::size_t n = 5;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-3.0, 3.0);
+    a(i, i) += 5.0;  // diagonally dominant -> nonsingular
+  }
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_true[j];
+  }
+  const auto x = gaussian_solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace vmtherm

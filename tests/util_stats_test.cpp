@@ -1,0 +1,194 @@
+// Tests for util/stats: RunningStats, metrics, quantiles.
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace vmtherm {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, MatchesNaiveComputation) {
+  Rng rng(1);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-9);
+}
+
+TEST(RunningStatsTest, MinMaxTracked) {
+  RunningStats s;
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);         // population: /2
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);  // sample: /1
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(2);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(StatsFreeFunctionsTest, MeanAndVariance) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(StatsFreeFunctionsTest, EmptyInputs) {
+  const std::vector<double> empty;
+  EXPECT_EQ(mean(empty), 0.0);
+  EXPECT_EQ(variance(empty), 0.0);
+  EXPECT_EQ(quantile(empty, 0.5), 0.0);
+}
+
+TEST(StatsFreeFunctionsTest, QuantileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.125), 1.5);
+}
+
+TEST(StatsFreeFunctionsTest, QuantileUnsortedInput) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(StatsFreeFunctionsTest, QuantileClampsQ) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 2.0);
+}
+
+TEST(MetricsTest, MseKnownValue) {
+  const std::vector<double> pred = {1.0, 2.0, 3.0};
+  const std::vector<double> act = {2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(mse(pred, act), (1.0 + 0.0 + 4.0) / 3.0);
+  EXPECT_DOUBLE_EQ(rmse(pred, act), std::sqrt(5.0 / 3.0));
+  EXPECT_DOUBLE_EQ(mae(pred, act), 1.0);
+  EXPECT_DOUBLE_EQ(max_abs_error(pred, act), 2.0);
+}
+
+TEST(MetricsTest, PerfectPredictionIsZero) {
+  const std::vector<double> v = {1.0, 5.0, -3.0};
+  EXPECT_DOUBLE_EQ(mse(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(mae(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(r_squared(v, v), 1.0);
+}
+
+TEST(MetricsTest, SizeMismatchThrows) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW((void)mse(a, b), DataError);
+  EXPECT_THROW((void)mae(a, b), DataError);
+  EXPECT_THROW((void)r_squared(a, b), DataError);
+}
+
+TEST(MetricsTest, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mse(empty, empty), DataError);
+}
+
+TEST(MetricsTest, RSquaredZeroVarianceActual) {
+  const std::vector<double> pred = {1.0, 2.0};
+  const std::vector<double> act = {3.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(pred, act), 0.0);
+}
+
+TEST(MetricsTest, RSquaredMeanPredictorIsZero) {
+  const std::vector<double> act = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pred(4, 2.5);
+  EXPECT_NEAR(r_squared(pred, act), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {-2.0, -4.0, -6.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(MetricsTest, PearsonConstantSeriesIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(MetricsTest, AbsResiduals) {
+  const std::vector<double> pred = {1.0, 5.0};
+  const std::vector<double> act = {3.0, 4.0};
+  const auto res = abs_residuals(pred, act);
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_DOUBLE_EQ(res[0], 2.0);
+  EXPECT_DOUBLE_EQ(res[1], 1.0);
+}
+
+}  // namespace
+}  // namespace vmtherm

@@ -1,0 +1,83 @@
+// Tests for util/table: alignment, formatting, errors.
+
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace vmtherm {
+namespace {
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), ConfigError);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), ConfigError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), ConfigError);
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, RendersHeaderSeparatorAndRows) {
+  Table t({"col", "x"});
+  t.add_row({"a", "1"});
+  const std::string out = t.to_string();
+  // header, separator, one row
+  EXPECT_NE(out.find("col  x"), std::string::npos);
+  EXPECT_NE(out.find("---  -"), std::string::npos);
+  EXPECT_NE(out.find("a    1"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsWidenToFitCells) {
+  Table t({"h"});
+  t.add_row({"longcell"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("--------"), std::string::npos);
+}
+
+TEST(TableTest, IndentPrefixesEveryLine) {
+  Table t({"a"});
+  t.add_row({"1"});
+  const std::string out = t.to_string(4);
+  std::istringstream iss(out);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.substr(0, 4), "    ");
+  }
+}
+
+TEST(TableNumTest, FixedPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 3), "1.000");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(TableNumTest, Integers) {
+  EXPECT_EQ(Table::num(42ll), "42");
+  EXPECT_EQ(Table::num(-7ll), "-7");
+}
+
+TEST(PrintHelpersTest, SectionAndKv) {
+  std::ostringstream oss;
+  print_section(oss, "Title");
+  print_kv(oss, "key", "value");
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("## Title"), std::string::npos);
+  EXPECT_NE(out.find("key:"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmtherm
