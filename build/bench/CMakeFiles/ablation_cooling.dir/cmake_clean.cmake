@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cooling.dir/ablation_cooling.cpp.o"
+  "CMakeFiles/ablation_cooling.dir/ablation_cooling.cpp.o.d"
+  "ablation_cooling"
+  "ablation_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_learning_rate.dir/ablation_learning_rate.cpp.o"
+  "CMakeFiles/ablation_learning_rate.dir/ablation_learning_rate.cpp.o.d"
+  "ablation_learning_rate"
+  "ablation_learning_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_learning_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

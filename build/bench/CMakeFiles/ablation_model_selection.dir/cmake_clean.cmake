@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_selection.dir/ablation_model_selection.cpp.o"
+  "CMakeFiles/ablation_model_selection.dir/ablation_model_selection.cpp.o.d"
+  "ablation_model_selection"
+  "ablation_model_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tbreak.dir/ablation_tbreak.cpp.o"
+  "CMakeFiles/ablation_tbreak.dir/ablation_tbreak.cpp.o.d"
+  "ablation_tbreak"
+  "ablation_tbreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tbreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

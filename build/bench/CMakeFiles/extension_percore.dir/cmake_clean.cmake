@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_percore.dir/extension_percore.cpp.o"
+  "CMakeFiles/extension_percore.dir/extension_percore.cpp.o.d"
+  "extension_percore"
+  "extension_percore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_percore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

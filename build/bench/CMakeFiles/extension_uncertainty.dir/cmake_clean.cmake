@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_uncertainty.dir/extension_uncertainty.cpp.o"
+  "CMakeFiles/extension_uncertainty.dir/extension_uncertainty.cpp.o.d"
+  "extension_uncertainty"
+  "extension_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_stable_prediction.dir/fig1a_stable_prediction.cpp.o"
+  "CMakeFiles/fig1a_stable_prediction.dir/fig1a_stable_prediction.cpp.o.d"
+  "fig1a_stable_prediction"
+  "fig1a_stable_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_stable_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

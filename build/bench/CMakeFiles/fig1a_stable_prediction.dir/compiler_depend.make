@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1a_stable_prediction.
+# This may be replaced when dependencies are built.

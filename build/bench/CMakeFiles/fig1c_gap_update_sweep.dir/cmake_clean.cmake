@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1c_gap_update_sweep.dir/fig1c_gap_update_sweep.cpp.o"
+  "CMakeFiles/fig1c_gap_update_sweep.dir/fig1c_gap_update_sweep.cpp.o.d"
+  "fig1c_gap_update_sweep"
+  "fig1c_gap_update_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_gap_update_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

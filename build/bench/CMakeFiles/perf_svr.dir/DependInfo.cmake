@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_svr.cpp" "bench/CMakeFiles/perf_svr.dir/perf_svr.cpp.o" "gcc" "bench/CMakeFiles/perf_svr.dir/perf_svr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vmtherm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmtherm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/vmtherm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmtherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_svr.dir/perf_svr.cpp.o"
+  "CMakeFiles/perf_svr.dir/perf_svr.cpp.o.d"
+  "perf_svr"
+  "perf_svr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_svr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

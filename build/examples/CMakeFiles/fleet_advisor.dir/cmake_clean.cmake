@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_advisor.dir/fleet_advisor.cpp.o"
+  "CMakeFiles/fleet_advisor.dir/fleet_advisor.cpp.o.d"
+  "fleet_advisor"
+  "fleet_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

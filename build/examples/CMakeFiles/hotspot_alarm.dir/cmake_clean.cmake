@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_alarm.dir/hotspot_alarm.cpp.o"
+  "CMakeFiles/hotspot_alarm.dir/hotspot_alarm.cpp.o.d"
+  "hotspot_alarm"
+  "hotspot_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_monitor.dir/migration_monitor.cpp.o"
+  "CMakeFiles/migration_monitor.dir/migration_monitor.cpp.o.d"
+  "migration_monitor"
+  "migration_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

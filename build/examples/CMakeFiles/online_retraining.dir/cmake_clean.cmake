@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_retraining.dir/online_retraining.cpp.o"
+  "CMakeFiles/online_retraining.dir/online_retraining.cpp.o.d"
+  "online_retraining"
+  "online_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

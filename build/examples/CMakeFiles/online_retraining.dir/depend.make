@@ -1,0 +1,2 @@
+# Empty dependencies file for online_retraining.
+# This may be replaced when dependencies are built.

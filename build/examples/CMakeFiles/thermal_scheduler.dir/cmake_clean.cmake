@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_scheduler.dir/thermal_scheduler.cpp.o"
+  "CMakeFiles/thermal_scheduler.dir/thermal_scheduler.cpp.o.d"
+  "thermal_scheduler"
+  "thermal_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtherm_baselines.dir/rc_predictor.cpp.o"
+  "CMakeFiles/vmtherm_baselines.dir/rc_predictor.cpp.o.d"
+  "CMakeFiles/vmtherm_baselines.dir/task_temperature.cpp.o"
+  "CMakeFiles/vmtherm_baselines.dir/task_temperature.cpp.o.d"
+  "libvmtherm_baselines.a"
+  "libvmtherm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtherm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtherm.dir/tools_main.cpp.o"
+  "CMakeFiles/vmtherm.dir/tools_main.cpp.o.d"
+  "vmtherm"
+  "vmtherm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtherm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

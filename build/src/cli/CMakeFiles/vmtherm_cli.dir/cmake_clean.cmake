@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtherm_cli.dir/args.cpp.o"
+  "CMakeFiles/vmtherm_cli.dir/args.cpp.o.d"
+  "CMakeFiles/vmtherm_cli.dir/commands.cpp.o"
+  "CMakeFiles/vmtherm_cli.dir/commands.cpp.o.d"
+  "libvmtherm_cli.a"
+  "libvmtherm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtherm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

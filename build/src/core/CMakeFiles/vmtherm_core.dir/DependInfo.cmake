@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/curve.cpp" "src/core/CMakeFiles/vmtherm_core.dir/curve.cpp.o" "gcc" "src/core/CMakeFiles/vmtherm_core.dir/curve.cpp.o.d"
+  "/root/repo/src/core/drift.cpp" "src/core/CMakeFiles/vmtherm_core.dir/drift.cpp.o" "gcc" "src/core/CMakeFiles/vmtherm_core.dir/drift.cpp.o.d"
+  "/root/repo/src/core/dynamic_predictor.cpp" "src/core/CMakeFiles/vmtherm_core.dir/dynamic_predictor.cpp.o" "gcc" "src/core/CMakeFiles/vmtherm_core.dir/dynamic_predictor.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/vmtherm_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/vmtherm_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/vmtherm_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/vmtherm_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/vmtherm_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/vmtherm_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/record.cpp" "src/core/CMakeFiles/vmtherm_core.dir/record.cpp.o" "gcc" "src/core/CMakeFiles/vmtherm_core.dir/record.cpp.o.d"
+  "/root/repo/src/core/record_store.cpp" "src/core/CMakeFiles/vmtherm_core.dir/record_store.cpp.o" "gcc" "src/core/CMakeFiles/vmtherm_core.dir/record_store.cpp.o.d"
+  "/root/repo/src/core/stable_predictor.cpp" "src/core/CMakeFiles/vmtherm_core.dir/stable_predictor.cpp.o" "gcc" "src/core/CMakeFiles/vmtherm_core.dir/stable_predictor.cpp.o.d"
+  "/root/repo/src/core/tbreak.cpp" "src/core/CMakeFiles/vmtherm_core.dir/tbreak.cpp.o" "gcc" "src/core/CMakeFiles/vmtherm_core.dir/tbreak.cpp.o.d"
+  "/root/repo/src/core/uncertainty.cpp" "src/core/CMakeFiles/vmtherm_core.dir/uncertainty.cpp.o" "gcc" "src/core/CMakeFiles/vmtherm_core.dir/uncertainty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vmtherm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/vmtherm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmtherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

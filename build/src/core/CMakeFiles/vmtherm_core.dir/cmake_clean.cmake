@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtherm_core.dir/curve.cpp.o"
+  "CMakeFiles/vmtherm_core.dir/curve.cpp.o.d"
+  "CMakeFiles/vmtherm_core.dir/drift.cpp.o"
+  "CMakeFiles/vmtherm_core.dir/drift.cpp.o.d"
+  "CMakeFiles/vmtherm_core.dir/dynamic_predictor.cpp.o"
+  "CMakeFiles/vmtherm_core.dir/dynamic_predictor.cpp.o.d"
+  "CMakeFiles/vmtherm_core.dir/evaluator.cpp.o"
+  "CMakeFiles/vmtherm_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/vmtherm_core.dir/online.cpp.o"
+  "CMakeFiles/vmtherm_core.dir/online.cpp.o.d"
+  "CMakeFiles/vmtherm_core.dir/profiler.cpp.o"
+  "CMakeFiles/vmtherm_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/vmtherm_core.dir/record.cpp.o"
+  "CMakeFiles/vmtherm_core.dir/record.cpp.o.d"
+  "CMakeFiles/vmtherm_core.dir/record_store.cpp.o"
+  "CMakeFiles/vmtherm_core.dir/record_store.cpp.o.d"
+  "CMakeFiles/vmtherm_core.dir/stable_predictor.cpp.o"
+  "CMakeFiles/vmtherm_core.dir/stable_predictor.cpp.o.d"
+  "CMakeFiles/vmtherm_core.dir/tbreak.cpp.o"
+  "CMakeFiles/vmtherm_core.dir/tbreak.cpp.o.d"
+  "CMakeFiles/vmtherm_core.dir/uncertainty.cpp.o"
+  "CMakeFiles/vmtherm_core.dir/uncertainty.cpp.o.d"
+  "libvmtherm_core.a"
+  "libvmtherm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtherm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

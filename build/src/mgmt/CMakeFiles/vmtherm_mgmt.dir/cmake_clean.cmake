@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtherm_mgmt.dir/autopilot.cpp.o"
+  "CMakeFiles/vmtherm_mgmt.dir/autopilot.cpp.o.d"
+  "CMakeFiles/vmtherm_mgmt.dir/cooling.cpp.o"
+  "CMakeFiles/vmtherm_mgmt.dir/cooling.cpp.o.d"
+  "CMakeFiles/vmtherm_mgmt.dir/monitor.cpp.o"
+  "CMakeFiles/vmtherm_mgmt.dir/monitor.cpp.o.d"
+  "CMakeFiles/vmtherm_mgmt.dir/planner.cpp.o"
+  "CMakeFiles/vmtherm_mgmt.dir/planner.cpp.o.d"
+  "libvmtherm_mgmt.a"
+  "libvmtherm_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtherm_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cv.cpp" "src/ml/CMakeFiles/vmtherm_ml.dir/cv.cpp.o" "gcc" "src/ml/CMakeFiles/vmtherm_ml.dir/cv.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/vmtherm_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/vmtherm_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/vmtherm_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/vmtherm_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/grid.cpp" "src/ml/CMakeFiles/vmtherm_ml.dir/grid.cpp.o" "gcc" "src/ml/CMakeFiles/vmtherm_ml.dir/grid.cpp.o.d"
+  "/root/repo/src/ml/kernel.cpp" "src/ml/CMakeFiles/vmtherm_ml.dir/kernel.cpp.o" "gcc" "src/ml/CMakeFiles/vmtherm_ml.dir/kernel.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/vmtherm_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/vmtherm_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/linreg.cpp" "src/ml/CMakeFiles/vmtherm_ml.dir/linreg.cpp.o" "gcc" "src/ml/CMakeFiles/vmtherm_ml.dir/linreg.cpp.o.d"
+  "/root/repo/src/ml/model_io.cpp" "src/ml/CMakeFiles/vmtherm_ml.dir/model_io.cpp.o" "gcc" "src/ml/CMakeFiles/vmtherm_ml.dir/model_io.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/vmtherm_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/vmtherm_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/svr.cpp" "src/ml/CMakeFiles/vmtherm_ml.dir/svr.cpp.o" "gcc" "src/ml/CMakeFiles/vmtherm_ml.dir/svr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmtherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtherm_ml.dir/cv.cpp.o"
+  "CMakeFiles/vmtherm_ml.dir/cv.cpp.o.d"
+  "CMakeFiles/vmtherm_ml.dir/dataset.cpp.o"
+  "CMakeFiles/vmtherm_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/vmtherm_ml.dir/forest.cpp.o"
+  "CMakeFiles/vmtherm_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/vmtherm_ml.dir/grid.cpp.o"
+  "CMakeFiles/vmtherm_ml.dir/grid.cpp.o.d"
+  "CMakeFiles/vmtherm_ml.dir/kernel.cpp.o"
+  "CMakeFiles/vmtherm_ml.dir/kernel.cpp.o.d"
+  "CMakeFiles/vmtherm_ml.dir/knn.cpp.o"
+  "CMakeFiles/vmtherm_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/vmtherm_ml.dir/linreg.cpp.o"
+  "CMakeFiles/vmtherm_ml.dir/linreg.cpp.o.d"
+  "CMakeFiles/vmtherm_ml.dir/model_io.cpp.o"
+  "CMakeFiles/vmtherm_ml.dir/model_io.cpp.o.d"
+  "CMakeFiles/vmtherm_ml.dir/scaler.cpp.o"
+  "CMakeFiles/vmtherm_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/vmtherm_ml.dir/svr.cpp.o"
+  "CMakeFiles/vmtherm_ml.dir/svr.cpp.o.d"
+  "libvmtherm_ml.a"
+  "libvmtherm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtherm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

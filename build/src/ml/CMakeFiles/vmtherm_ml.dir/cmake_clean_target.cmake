@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvmtherm_ml.a"
+)

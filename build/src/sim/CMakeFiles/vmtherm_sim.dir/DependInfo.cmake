@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/vmtherm_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/vmtherm_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/vmtherm_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/vmtherm_sim.dir/environment.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/vmtherm_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/vmtherm_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/vmtherm_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/vmtherm_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/multicore.cpp" "src/sim/CMakeFiles/vmtherm_sim.dir/multicore.cpp.o" "gcc" "src/sim/CMakeFiles/vmtherm_sim.dir/multicore.cpp.o.d"
+  "/root/repo/src/sim/sensor.cpp" "src/sim/CMakeFiles/vmtherm_sim.dir/sensor.cpp.o" "gcc" "src/sim/CMakeFiles/vmtherm_sim.dir/sensor.cpp.o.d"
+  "/root/repo/src/sim/server.cpp" "src/sim/CMakeFiles/vmtherm_sim.dir/server.cpp.o" "gcc" "src/sim/CMakeFiles/vmtherm_sim.dir/server.cpp.o.d"
+  "/root/repo/src/sim/thermal.cpp" "src/sim/CMakeFiles/vmtherm_sim.dir/thermal.cpp.o" "gcc" "src/sim/CMakeFiles/vmtherm_sim.dir/thermal.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/vmtherm_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/vmtherm_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/vm.cpp" "src/sim/CMakeFiles/vmtherm_sim.dir/vm.cpp.o" "gcc" "src/sim/CMakeFiles/vmtherm_sim.dir/vm.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/vmtherm_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/vmtherm_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmtherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtherm_sim.dir/cluster.cpp.o"
+  "CMakeFiles/vmtherm_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/vmtherm_sim.dir/environment.cpp.o"
+  "CMakeFiles/vmtherm_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/vmtherm_sim.dir/experiment.cpp.o"
+  "CMakeFiles/vmtherm_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/vmtherm_sim.dir/machine.cpp.o"
+  "CMakeFiles/vmtherm_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/vmtherm_sim.dir/multicore.cpp.o"
+  "CMakeFiles/vmtherm_sim.dir/multicore.cpp.o.d"
+  "CMakeFiles/vmtherm_sim.dir/sensor.cpp.o"
+  "CMakeFiles/vmtherm_sim.dir/sensor.cpp.o.d"
+  "CMakeFiles/vmtherm_sim.dir/server.cpp.o"
+  "CMakeFiles/vmtherm_sim.dir/server.cpp.o.d"
+  "CMakeFiles/vmtherm_sim.dir/thermal.cpp.o"
+  "CMakeFiles/vmtherm_sim.dir/thermal.cpp.o.d"
+  "CMakeFiles/vmtherm_sim.dir/trace.cpp.o"
+  "CMakeFiles/vmtherm_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/vmtherm_sim.dir/vm.cpp.o"
+  "CMakeFiles/vmtherm_sim.dir/vm.cpp.o.d"
+  "CMakeFiles/vmtherm_sim.dir/workload.cpp.o"
+  "CMakeFiles/vmtherm_sim.dir/workload.cpp.o.d"
+  "libvmtherm_sim.a"
+  "libvmtherm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtherm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

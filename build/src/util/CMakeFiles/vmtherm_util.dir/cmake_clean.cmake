@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtherm_util.dir/csv.cpp.o"
+  "CMakeFiles/vmtherm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/vmtherm_util.dir/matrix.cpp.o"
+  "CMakeFiles/vmtherm_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/vmtherm_util.dir/rng.cpp.o"
+  "CMakeFiles/vmtherm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vmtherm_util.dir/stats.cpp.o"
+  "CMakeFiles/vmtherm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vmtherm_util.dir/table.cpp.o"
+  "CMakeFiles/vmtherm_util.dir/table.cpp.o.d"
+  "libvmtherm_util.a"
+  "libvmtherm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtherm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

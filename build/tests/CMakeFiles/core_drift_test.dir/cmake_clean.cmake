@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_drift_test.dir/core_drift_test.cpp.o"
+  "CMakeFiles/core_drift_test.dir/core_drift_test.cpp.o.d"
+  "core_drift_test"
+  "core_drift_test.pdb"
+  "core_drift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_drift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

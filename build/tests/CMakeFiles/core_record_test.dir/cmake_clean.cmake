@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_record_test.dir/core_record_test.cpp.o"
+  "CMakeFiles/core_record_test.dir/core_record_test.cpp.o.d"
+  "core_record_test"
+  "core_record_test.pdb"
+  "core_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

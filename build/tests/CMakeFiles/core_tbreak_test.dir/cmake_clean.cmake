@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tbreak_test.dir/core_tbreak_test.cpp.o"
+  "CMakeFiles/core_tbreak_test.dir/core_tbreak_test.cpp.o.d"
+  "core_tbreak_test"
+  "core_tbreak_test.pdb"
+  "core_tbreak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tbreak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgmt_autopilot_test.dir/mgmt_autopilot_test.cpp.o"
+  "CMakeFiles/mgmt_autopilot_test.dir/mgmt_autopilot_test.cpp.o.d"
+  "mgmt_autopilot_test"
+  "mgmt_autopilot_test.pdb"
+  "mgmt_autopilot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgmt_autopilot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

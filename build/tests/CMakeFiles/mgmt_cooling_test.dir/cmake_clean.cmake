@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgmt_cooling_test.dir/mgmt_cooling_test.cpp.o"
+  "CMakeFiles/mgmt_cooling_test.dir/mgmt_cooling_test.cpp.o.d"
+  "mgmt_cooling_test"
+  "mgmt_cooling_test.pdb"
+  "mgmt_cooling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgmt_cooling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

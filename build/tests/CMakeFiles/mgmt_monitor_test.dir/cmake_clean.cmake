@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgmt_monitor_test.dir/mgmt_monitor_test.cpp.o"
+  "CMakeFiles/mgmt_monitor_test.dir/mgmt_monitor_test.cpp.o.d"
+  "mgmt_monitor_test"
+  "mgmt_monitor_test.pdb"
+  "mgmt_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgmt_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mgmt_planner_test.cpp" "tests/CMakeFiles/mgmt_planner_test.dir/mgmt_planner_test.cpp.o" "gcc" "tests/CMakeFiles/mgmt_planner_test.dir/mgmt_planner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/vmtherm_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/vmtherm_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vmtherm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vmtherm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmtherm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/vmtherm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmtherm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgmt_planner_test.dir/mgmt_planner_test.cpp.o"
+  "CMakeFiles/mgmt_planner_test.dir/mgmt_planner_test.cpp.o.d"
+  "mgmt_planner_test"
+  "mgmt_planner_test.pdb"
+  "mgmt_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgmt_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

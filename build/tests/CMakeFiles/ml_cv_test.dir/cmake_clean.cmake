@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_cv_test.dir/ml_cv_test.cpp.o"
+  "CMakeFiles/ml_cv_test.dir/ml_cv_test.cpp.o.d"
+  "ml_cv_test"
+  "ml_cv_test.pdb"
+  "ml_cv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_cv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

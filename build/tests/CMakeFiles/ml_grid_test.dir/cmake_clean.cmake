@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_grid_test.dir/ml_grid_test.cpp.o"
+  "CMakeFiles/ml_grid_test.dir/ml_grid_test.cpp.o.d"
+  "ml_grid_test"
+  "ml_grid_test.pdb"
+  "ml_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_knn_test.dir/ml_knn_test.cpp.o"
+  "CMakeFiles/ml_knn_test.dir/ml_knn_test.cpp.o.d"
+  "ml_knn_test"
+  "ml_knn_test.pdb"
+  "ml_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

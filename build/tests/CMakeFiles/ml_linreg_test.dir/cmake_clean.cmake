@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_linreg_test.dir/ml_linreg_test.cpp.o"
+  "CMakeFiles/ml_linreg_test.dir/ml_linreg_test.cpp.o.d"
+  "ml_linreg_test"
+  "ml_linreg_test.pdb"
+  "ml_linreg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_linreg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

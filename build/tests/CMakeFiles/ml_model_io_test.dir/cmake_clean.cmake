@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_model_io_test.dir/ml_model_io_test.cpp.o"
+  "CMakeFiles/ml_model_io_test.dir/ml_model_io_test.cpp.o.d"
+  "ml_model_io_test"
+  "ml_model_io_test.pdb"
+  "ml_model_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_model_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_scaler_test.dir/ml_scaler_test.cpp.o"
+  "CMakeFiles/ml_scaler_test.dir/ml_scaler_test.cpp.o.d"
+  "ml_scaler_test"
+  "ml_scaler_test.pdb"
+  "ml_scaler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_scaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_svr_test.dir/ml_svr_test.cpp.o"
+  "CMakeFiles/ml_svr_test.dir/ml_svr_test.cpp.o.d"
+  "ml_svr_test"
+  "ml_svr_test.pdb"
+  "ml_svr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_svr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_cluster_test.dir/sim_cluster_test.cpp.o"
+  "CMakeFiles/sim_cluster_test.dir/sim_cluster_test.cpp.o.d"
+  "sim_cluster_test"
+  "sim_cluster_test.pdb"
+  "sim_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_environment_test.dir/sim_environment_test.cpp.o"
+  "CMakeFiles/sim_environment_test.dir/sim_environment_test.cpp.o.d"
+  "sim_environment_test"
+  "sim_environment_test.pdb"
+  "sim_environment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_environment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

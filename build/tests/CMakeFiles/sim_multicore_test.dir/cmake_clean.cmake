@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_multicore_test.dir/sim_multicore_test.cpp.o"
+  "CMakeFiles/sim_multicore_test.dir/sim_multicore_test.cpp.o.d"
+  "sim_multicore_test"
+  "sim_multicore_test.pdb"
+  "sim_multicore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_multicore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_server_test.dir/sim_server_test.cpp.o"
+  "CMakeFiles/sim_server_test.dir/sim_server_test.cpp.o.d"
+  "sim_server_test"
+  "sim_server_test.pdb"
+  "sim_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_matrix_test.dir/util_matrix_test.cpp.o"
+  "CMakeFiles/util_matrix_test.dir/util_matrix_test.cpp.o.d"
+  "util_matrix_test"
+  "util_matrix_test.pdb"
+  "util_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
