@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
 
 #include "ml/forest.h"
 #include "ml/grid.h"
@@ -97,6 +98,23 @@ void BM_GridSearchSmall(benchmark::State& state) {
   state.SetLabel("2x2x1 grid, 4-fold, 96 samples");
 }
 BENCHMARK(BM_GridSearchSmall)->Unit(benchmark::kMillisecond);
+
+void BM_GridSearchPaperScale(benchmark::State& state) {
+  // The paper-scale search: default 7x5x2 (C, gamma, epsilon) grid with
+  // 10-fold CV, swept over thread counts. UseRealTime makes the threaded
+  // runs report wall clock, so the serial-vs-parallel speedup reads
+  // directly off the table.
+  const auto data = synthetic_data(96, 16, 8);
+  ml::GridSpec spec;
+  spec.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::grid_search_svr(data, spec));
+  }
+  state.SetLabel("7x5x2 grid, 10-fold, 96 samples, " +
+                 std::to_string(state.range(0)) + " thread(s)");
+}
+BENCHMARK(BM_GridSearchPaperScale)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_SvrTrainCacheConstrained(benchmark::State& state) {
   // Cache thrashing cost: tiny kernel cache vs roomy one.

@@ -39,6 +39,9 @@ CommandSpec train_spec() {
   spec.add(make_option("data", "training records CSV", true));
   spec.add(make_option("model", "output model path", true));
   spec.add(make_option("folds", "cross-validation folds", false, false, false, "10"));
+  spec.add(make_option("threads",
+            "threads for the grid search (0 = all hardware threads); the "
+            "result does not depend on this", false, false, false, "1"));
   spec.add(make_option("fast", "skip the grid search (fixed good parameters)", false,
             true));
   return spec;
@@ -130,6 +133,8 @@ int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
 }
 
 int cmd_train(const ParsedArgs& args, std::ostream& out) {
+  const long threads = args.get_long("threads");
+  detail::require(threads >= 0, "option --threads must be >= 0");
   const auto records = core::read_records_csv_file(args.get("data"));
   out << "training on " << records.size() << " records";
 
@@ -143,6 +148,7 @@ int cmd_train(const ParsedArgs& args, std::ostream& out) {
     options.fixed_params = params;
   } else {
     options.grid.folds = static_cast<std::size_t>(args.get_long("folds"));
+    options.grid.threads = static_cast<std::size_t>(threads);
   }
   out << "...\n";
 

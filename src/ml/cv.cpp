@@ -1,5 +1,7 @@
 #include "ml/cv.h"
 
+#include "util/thread_pool.h"
+
 namespace vmtherm::ml {
 
 std::vector<FoldIndices> make_folds(std::size_t n, std::size_t folds,
@@ -9,36 +11,68 @@ std::vector<FoldIndices> make_folds(std::size_t n, std::size_t folds,
                        "cross-validation needs at least one sample per fold");
   const auto perm = rng.permutation(n);
 
-  std::vector<FoldIndices> out(folds);
   // Assign shuffled samples round-robin so fold sizes differ by at most 1.
   std::vector<std::size_t> fold_of(n);
   for (std::size_t i = 0; i < n; ++i) fold_of[perm[i]] = i % folds;
 
+  std::vector<FoldIndices> out(folds);
+  // Round-robin assignment puts base + 1 samples in the first n % folds
+  // folds and base in the rest.
+  const std::size_t base = n / folds;
+  const std::size_t extra = n % folds;
+  for (std::size_t f = 0; f < folds; ++f) {
+    const std::size_t validation_size = base + (f < extra ? 1 : 0);
+    out[f].validation.reserve(validation_size);
+    out[f].train.reserve(n - validation_size);
+  }
+
+  // Single pass over fold_of: sample i lands in its home fold's validation
+  // list and every other fold's train list, all in increasing-i order.
   for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t home = fold_of[i];
+    out[home].validation.push_back(i);
     for (std::size_t f = 0; f < folds; ++f) {
-      if (fold_of[i] == f) out[f].validation.push_back(i);
-      else out[f].train.push_back(i);
+      if (f != home) out[f].train.push_back(i);
     }
   }
   return out;
 }
 
 double cross_validated_mse(const Dataset& data, std::size_t folds, Rng& rng,
-                           const FitPredictFn& fit_predict) {
+                           const FitPredictFn& fit_predict,
+                           util::ThreadPool* pool) {
   const auto fold_sets = make_folds(data.size(), folds, rng);
-  double squared_error = 0.0;
-  std::size_t count = 0;
-  for (const auto& f : fold_sets) {
-    const Dataset train = data.subset(f.train);
-    const Dataset validation = data.subset(f.validation);
+
+  // Per-fold partials reduced in fold order below: the reduction is
+  // associativity-stable, so serial and pooled runs agree bitwise.
+  std::vector<double> fold_squared_error(fold_sets.size(), 0.0);
+  std::vector<std::size_t> fold_count(fold_sets.size(), 0);
+  const auto evaluate_fold = [&](std::size_t f) {
+    const Dataset train = data.subset(fold_sets[f].train);
+    const Dataset validation = data.subset(fold_sets[f].validation);
     const std::vector<double> pred = fit_predict(train, validation);
     detail::require_data(pred.size() == validation.size(),
                          "cv fit_predict returned wrong prediction count");
+    double squared_error = 0.0;
     for (std::size_t i = 0; i < validation.size(); ++i) {
       const double e = pred[i] - validation[i].y;
       squared_error += e * e;
     }
-    count += validation.size();
+    fold_squared_error[f] = squared_error;
+    fold_count[f] = validation.size();
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, fold_sets.size(), evaluate_fold);
+  } else {
+    for (std::size_t f = 0; f < fold_sets.size(); ++f) evaluate_fold(f);
+  }
+
+  double squared_error = 0.0;
+  std::size_t count = 0;
+  for (std::size_t f = 0; f < fold_sets.size(); ++f) {
+    squared_error += fold_squared_error[f];
+    count += fold_count[f];
   }
   return squared_error / static_cast<double>(count);
 }

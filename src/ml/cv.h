@@ -10,6 +10,10 @@
 
 #include "ml/dataset.h"
 
+namespace vmtherm::util {
+class ThreadPool;
+}
+
 namespace vmtherm::ml {
 
 /// Index sets for k-fold CV: fold f is the validation set, the rest train.
@@ -31,7 +35,13 @@ using FitPredictFn = std::function<std::vector<double>(
 
 /// Runs k-fold CV and returns the MSE averaged over folds (each fold's MSE
 /// weighted by its validation size, i.e. pooled squared error).
+///
+/// When `pool` is non-null the folds are evaluated concurrently on it
+/// (fit_predict must then be safe to call from multiple threads). The
+/// result is bitwise identical to the serial path: per-fold squared-error
+/// partials are reduced in fold order regardless of completion order.
 double cross_validated_mse(const Dataset& data, std::size_t folds, Rng& rng,
-                           const FitPredictFn& fit_predict);
+                           const FitPredictFn& fit_predict,
+                           util::ThreadPool* pool = nullptr);
 
 }  // namespace vmtherm::ml

@@ -1,12 +1,15 @@
 #include "ml/grid.h"
 
 #include <limits>
+#include <optional>
 
 #include "ml/cv.h"
+#include "util/thread_pool.h"
 
 namespace vmtherm::ml {
 
-GridSearchResult grid_search_svr(const Dataset& data, const GridSpec& spec) {
+GridSearchResult grid_search_svr(const Dataset& data, const GridSpec& spec,
+                                 util::ThreadPool* pool) {
   spec.validate();
   detail::require_data(data.size() >= spec.folds,
                        "grid search needs at least `folds` samples");
@@ -15,9 +18,24 @@ GridSearchResult grid_search_svr(const Dataset& data, const GridSpec& spec) {
   Rng fold_rng(spec.seed);
   const auto folds = make_folds(data.size(), spec.folds, fold_rng);
 
-  GridSearchResult result;
-  result.best_cv_mse = std::numeric_limits<double>::infinity();
+  // Materialize each fold's train/validation datasets once for the whole
+  // search instead of once per grid point (folds x |C|*|gamma|*|epsilon|
+  // copies otherwise).
+  struct FoldData {
+    Dataset train;
+    Dataset validation;
+  };
+  std::vector<FoldData> fold_data;
+  fold_data.reserve(folds.size());
+  for (const auto& f : folds) {
+    fold_data.push_back(FoldData{data.subset(f.train),
+                                 data.subset(f.validation)});
+  }
 
+  // Canonical grid order: C outer, gamma middle, epsilon inner.
+  std::vector<SvrParams> points;
+  points.reserve(spec.c_values.size() * spec.gamma_values.size() *
+                 spec.epsilon_values.size());
   for (double c : spec.c_values) {
     for (double gamma : spec.gamma_values) {
       for (double eps : spec.epsilon_values) {
@@ -26,27 +44,57 @@ GridSearchResult grid_search_svr(const Dataset& data, const GridSpec& spec) {
         params.kernel.gamma = gamma;
         params.c = c;
         params.epsilon = eps;
-
-        double squared_error = 0.0;
-        std::size_t count = 0;
-        for (const auto& f : folds) {
-          const Dataset train = data.subset(f.train);
-          const Dataset validation = data.subset(f.validation);
-          const SvrModel model = SvrModel::train(train, params);
-          for (const auto& s : validation.samples()) {
-            const double e = model.predict(s.x) - s.y;
-            squared_error += e * e;
-          }
-          count += validation.size();
-        }
-        const double cv_mse = squared_error / static_cast<double>(count);
-
-        result.evaluated.push_back(GridPoint{params, cv_mse});
-        if (cv_mse < result.best_cv_mse) {
-          result.best_cv_mse = cv_mse;
-          result.best_params = params;
-        }
+        points.push_back(params);
       }
+    }
+  }
+
+  GridSearchResult result;
+  result.evaluated.resize(points.size());
+
+  // Each grid point is evaluated by exactly one thread, with a fully
+  // serial fold loop, into its own slot — so every cv_mse is bitwise
+  // independent of the schedule.
+  const auto evaluate_point = [&](std::size_t idx) {
+    const SvrParams& params = points[idx];
+    double squared_error = 0.0;
+    std::size_t count = 0;
+    for (const auto& fd : fold_data) {
+      const SvrModel model = SvrModel::train(fd.train, params);
+      for (const auto& s : fd.validation.samples()) {
+        const double e = model.predict(s.x) - s.y;
+        squared_error += e * e;
+      }
+      count += fd.validation.size();
+    }
+    result.evaluated[idx] =
+        GridPoint{params, squared_error / static_cast<double>(count)};
+  };
+
+  std::optional<util::ThreadPool> local_pool;
+  if (pool == nullptr) {
+    const std::size_t threads =
+        util::ThreadPool::resolve_thread_count(spec.threads);
+    if (threads > 1) {
+      // parallel_for also runs on the calling thread, so `threads` total.
+      local_pool.emplace(threads - 1);
+      pool = &*local_pool;
+    }
+  }
+  if (pool != nullptr) {
+    pool->parallel_for(0, points.size(), evaluate_point);
+  } else {
+    for (std::size_t idx = 0; idx < points.size(); ++idx) evaluate_point(idx);
+  }
+
+  // Explicit tie-breaking: strict < over a scan in grid order means the
+  // lowest grid index wins among equal-MSE points, independent of the
+  // order evaluations completed in.
+  result.best_cv_mse = std::numeric_limits<double>::infinity();
+  for (const auto& point : result.evaluated) {
+    if (point.cv_mse < result.best_cv_mse) {
+      result.best_cv_mse = point.cv_mse;
+      result.best_params = point.params;
     }
   }
   return result;

@@ -10,6 +10,10 @@
 
 #include "ml/svr.h"
 
+namespace vmtherm::util {
+class ThreadPool;
+}
+
 namespace vmtherm::ml {
 
 /// Search space. Defaults follow the classic LIBSVM grid recommendation
@@ -23,6 +27,10 @@ struct GridSpec {
   KernelKind kernel = KernelKind::kRbf;
   std::size_t folds = 10;
   std::uint64_t seed = 42;  ///< fold-assignment seed
+  /// Total threads evaluating grid points: 1 = serial (default), 0 = all
+  /// hardware threads. Ignored when an external pool is passed to
+  /// grid_search_svr. Results do not depend on this value.
+  std::size_t threads = 1;
 
   void validate() const {
     detail::require(!c_values.empty(), "grid needs C values");
@@ -48,10 +56,20 @@ struct GridSearchResult {
 
 /// Exhaustive search: trains folds x |C| x |gamma| x |epsilon| SVRs on
 /// `data` (which should already be scaled) and returns the point with the
-/// lowest cross-validated MSE. Deterministic: ties break toward the
-/// earlier grid point in iteration order (C outer, gamma middle, epsilon
-/// inner). Fold assignment is shared across grid points so comparisons are
-/// paired.
-GridSearchResult grid_search_svr(const Dataset& data, const GridSpec& spec);
+/// lowest cross-validated MSE. Fold assignment is seeded by `spec.seed`
+/// and shared across grid points so comparisons are paired.
+///
+/// Deterministic regardless of thread count: `evaluated` is always in
+/// canonical grid order (C outer, gamma middle, epsilon inner), each grid
+/// point's CV evaluation is fully serial and independent, and equal-MSE
+/// ties break explicitly toward the lowest grid index — never toward
+/// whichever evaluation happened to finish first. Serial and parallel runs
+/// therefore return bitwise-identical results.
+///
+/// Concurrency: with `pool` non-null the grid points are evaluated on that
+/// (possibly shared) pool; otherwise a private pool is spun up when
+/// `spec.threads` resolves to more than one thread.
+GridSearchResult grid_search_svr(const Dataset& data, const GridSpec& spec,
+                                 util::ThreadPool* pool = nullptr);
 
 }  // namespace vmtherm::ml

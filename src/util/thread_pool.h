@@ -1,0 +1,73 @@
+// vmtherm/util/thread_pool.h
+//
+// A small fixed-size worker pool with a FIFO work queue, used to
+// parallelize embarrassingly-parallel ML work (grid-search points, CV
+// folds) without giving up the repo's determinism guarantees: callers
+// write results into pre-sized slots keyed by task index and reduce in a
+// fixed order, so the outputs are bitwise identical to a serial run no
+// matter how the work is scheduled.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vmtherm::util {
+
+/// Fixed-size thread pool.
+///
+/// `thread_count` is the number of owned worker threads; a pool of 0
+/// workers is valid and degenerates to inline execution on the calling
+/// thread (both `submit` and `parallel_for`). `parallel_for` additionally
+/// runs loop bodies on the calling thread, so a pool with W workers
+/// executes a loop on up to W + 1 threads.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t thread_count);
+
+  /// Joins all workers after draining the queue (every submitted task
+  /// runs before destruction completes).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues one task; tasks submitted from a single thread start in
+  /// submission order (FIFO queue). The returned future receives the
+  /// task's exception, if it throws. On a pool with no workers the task
+  /// runs inline before submit returns.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [begin, end), distributed over the
+  /// workers plus the calling thread, and blocks until all iterations
+  /// finish. Every index runs exactly once even when some iterations
+  /// throw; after the loop, the exception from the lowest-indexed failed
+  /// iteration is rethrown (so error reporting is deterministic). The
+  /// body must be safe to call concurrently from multiple threads.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Maps a user-facing thread-count request to an actual count:
+  /// 0 means "all hardware threads" (at least 1), anything else is
+  /// returned unchanged.
+  static std::size_t resolve_thread_count(std::size_t requested) noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+}  // namespace vmtherm::util

@@ -200,6 +200,52 @@ TEST(RunCliTest, FullPipelineSimulateTrainPredictEvaluate) {
   std::filesystem::remove(model);
 }
 
+TEST(RunCliTest, TrainThreadsProducesIdenticalModelAndOutput) {
+  // --threads must not change anything observable: same stdout, same model
+  // file bytes as the serial run.
+  const std::string records = temp_path("vmtherm_cli_test_records_thr.csv");
+  const std::string model1 = temp_path("vmtherm_cli_test_model_thr1.txt");
+  const std::string model4 = temp_path("vmtherm_cli_test_model_thr4.txt");
+  ASSERT_EQ(run({"simulate", "--count", "25", "--seed", "9", "--out", records,
+                 "--duration", "1200"})
+                .code,
+            0);
+
+  const auto serial = run({"train", "--data", records, "--model", model1,
+                           "--folds", "2", "--threads", "1"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  const auto threaded = run({"train", "--data", records, "--model", model4,
+                             "--folds", "2", "--threads", "4"});
+  ASSERT_EQ(threaded.code, 0) << threaded.err;
+  // Identical up to the echoed output path on the last line.
+  const auto strip_path_line = [](const std::string& s) {
+    return s.substr(0, s.find("model saved to "));
+  };
+  EXPECT_EQ(strip_path_line(serial.out), strip_path_line(threaded.out));
+  EXPECT_FALSE(strip_path_line(serial.out).empty());
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+  };
+  const std::string bytes1 = slurp(model1);
+  ASSERT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, slurp(model4));
+
+  std::filesystem::remove(records);
+  std::filesystem::remove(model1);
+  std::filesystem::remove(model4);
+}
+
+TEST(RunCliTest, TrainRejectsNegativeThreads) {
+  const auto result = run({"train", "--data", "r.csv", "--model", "m.txt",
+                           "--threads", "-2"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--threads"), std::string::npos);
+}
+
 TEST(RunCliTest, PredictRejectsBadTaskName) {
   const std::string records = temp_path("vmtherm_cli_test_records2.csv");
   const std::string model = temp_path("vmtherm_cli_test_model2.txt");

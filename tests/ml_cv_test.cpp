@@ -7,6 +7,7 @@
 #include <set>
 
 #include "ml/linreg.h"
+#include "util/thread_pool.h"
 
 namespace vmtherm::ml {
 namespace {
@@ -62,6 +63,45 @@ TEST(MakeFoldsTest, DeterministicGivenRngState) {
   }
 }
 
+TEST(MakeFoldsTest, MatchesReferenceConstructionOnFixedSeeds) {
+  // Pins the exact fold layout: round-robin assignment over the seeded
+  // permutation, every index list in increasing sample order. The
+  // single-pass implementation must stay byte-identical to this reference.
+  for (const std::uint64_t seed : {1ull, 42ull, 1337ull}) {
+    Rng rng(seed);
+    const auto folds = make_folds(23, 5, rng);
+
+    Rng ref_rng(seed);
+    const auto perm = ref_rng.permutation(23);
+    std::vector<std::size_t> fold_of(23);
+    for (std::size_t i = 0; i < 23; ++i) fold_of[perm[i]] = i % 5;
+
+    ASSERT_EQ(folds.size(), 5u);
+    for (std::size_t f = 0; f < 5; ++f) {
+      std::vector<std::size_t> validation;
+      std::vector<std::size_t> train;
+      for (std::size_t i = 0; i < 23; ++i) {
+        if (fold_of[i] == f) validation.push_back(i);
+        else train.push_back(i);
+      }
+      EXPECT_EQ(folds[f].validation, validation) << "seed " << seed;
+      EXPECT_EQ(folds[f].train, train) << "seed " << seed;
+    }
+  }
+}
+
+TEST(MakeFoldsTest, TrainListsDeterministicGivenRngState) {
+  Rng a(9);
+  Rng b(9);
+  const auto fa = make_folds(37, 7, a);
+  const auto fb = make_folds(37, 7, b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].train, fb[i].train);
+    EXPECT_EQ(fa[i].validation, fb[i].validation);
+  }
+}
+
 TEST(CrossValidatedMseTest, PerfectModelScoresZero) {
   Dataset data;
   for (int i = 0; i < 30; ++i) {
@@ -89,6 +129,43 @@ TEST(CrossValidatedMseTest, ConstantPredictorScoresVariance) {
         return std::vector<double>(validation.size(), 0.0);
       });
   EXPECT_DOUBLE_EQ(score, 1.0);
+}
+
+TEST(CrossValidatedMseTest, PooledRunBitwiseMatchesSerial) {
+  Dataset data;
+  Rng noise(10);
+  for (int i = 0; i < 35; ++i) {
+    const double x = static_cast<double>(i) / 7.0;
+    data.add(Sample{{x}, 3.0 * x - 2.0 + noise.normal(0, 0.1)});
+  }
+  const auto fit_predict = [](const Dataset& train,
+                              const Dataset& validation) {
+    const auto model = LinearRegression::fit(train);
+    return model.predict(validation);
+  };
+  Rng serial_rng(11);
+  const double serial = cross_validated_mse(data, 5, serial_rng, fit_predict);
+  util::ThreadPool pool(3);
+  Rng pooled_rng(11);
+  const double pooled =
+      cross_validated_mse(data, 5, pooled_rng, fit_predict, &pool);
+  EXPECT_EQ(serial, pooled);  // bitwise, not just approximately
+}
+
+TEST(CrossValidatedMseTest, PooledRunPropagatesFitErrors) {
+  Dataset data;
+  for (int i = 0; i < 12; ++i) {
+    data.add(Sample{{static_cast<double>(i)}, 0.0});
+  }
+  util::ThreadPool pool(2);
+  Rng rng(12);
+  EXPECT_THROW((void)cross_validated_mse(
+                   data, 3, rng,
+                   [](const Dataset&, const Dataset&) -> std::vector<double> {
+                     throw DataError("fit exploded");
+                   },
+                   &pool),
+               DataError);
 }
 
 TEST(CrossValidatedMseTest, WrongPredictionCountThrows) {

@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
+#include "ml/cv.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace vmtherm::ml {
 namespace {
@@ -88,6 +91,124 @@ TEST(GridSearchTest, InvalidSpecThrows) {
   spec = small_grid();
   spec.folds = 1;
   EXPECT_THROW((void)grid_search_svr(data, spec), ConfigError);
+}
+
+void expect_bitwise_equal(const GridSearchResult& a, const GridSearchResult& b) {
+  EXPECT_EQ(a.best_cv_mse, b.best_cv_mse);
+  EXPECT_EQ(a.best_params.c, b.best_params.c);
+  EXPECT_EQ(a.best_params.kernel.gamma, b.best_params.kernel.gamma);
+  EXPECT_EQ(a.best_params.epsilon, b.best_params.epsilon);
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    EXPECT_EQ(a.evaluated[i].cv_mse, b.evaluated[i].cv_mse) << i;
+    EXPECT_EQ(a.evaluated[i].params.c, b.evaluated[i].params.c) << i;
+    EXPECT_EQ(a.evaluated[i].params.kernel.gamma,
+              b.evaluated[i].params.kernel.gamma)
+        << i;
+    EXPECT_EQ(a.evaluated[i].params.epsilon, b.evaluated[i].params.epsilon)
+        << i;
+  }
+}
+
+TEST(GridSearchTest, ParallelBitwiseIdenticalToSerial) {
+  const auto data = wavy_data(60, 9);
+  GridSpec spec = small_grid();
+  spec.epsilon_values = {0.05, 0.2};  // 2 x 2 x 2 = 8 points
+  spec.threads = 1;
+  const auto serial = grid_search_svr(data, spec);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    spec.threads = threads;
+    const auto parallel = grid_search_svr(data, spec);
+    expect_bitwise_equal(serial, parallel);
+  }
+}
+
+TEST(GridSearchTest, SharedExternalPoolMatchesSerial) {
+  const auto data = wavy_data(50, 10);
+  GridSpec spec = small_grid();
+  const auto serial = grid_search_svr(data, spec);
+  util::ThreadPool pool(3);
+  const auto pooled = grid_search_svr(data, spec, &pool);
+  expect_bitwise_equal(serial, pooled);
+}
+
+TEST(GridSearchTest, MatchesPerPointFoldMaterializationReference) {
+  // Regression for the fold-hoisting fix: re-materializing each fold's
+  // train/validation subsets per grid point (the old, redundant code path)
+  // must give the exact same GridSearchResult.
+  const auto data = wavy_data(48, 11);
+  const GridSpec spec = small_grid();
+  const auto result = grid_search_svr(data, spec);
+
+  Rng fold_rng(spec.seed);
+  const auto folds = make_folds(data.size(), spec.folds, fold_rng);
+  std::size_t idx = 0;
+  double best_cv_mse = std::numeric_limits<double>::infinity();
+  SvrParams best_params;
+  for (double c : spec.c_values) {
+    for (double gamma : spec.gamma_values) {
+      for (double eps : spec.epsilon_values) {
+        SvrParams params;
+        params.kernel.kind = spec.kernel;
+        params.kernel.gamma = gamma;
+        params.c = c;
+        params.epsilon = eps;
+        double squared_error = 0.0;
+        std::size_t count = 0;
+        for (const auto& f : folds) {
+          const Dataset train = data.subset(f.train);
+          const Dataset validation = data.subset(f.validation);
+          const SvrModel model = SvrModel::train(train, params);
+          for (const auto& s : validation.samples()) {
+            const double e = model.predict(s.x) - s.y;
+            squared_error += e * e;
+          }
+          count += validation.size();
+        }
+        const double cv_mse = squared_error / static_cast<double>(count);
+        ASSERT_LT(idx, result.evaluated.size());
+        EXPECT_EQ(result.evaluated[idx].cv_mse, cv_mse) << idx;
+        EXPECT_EQ(result.evaluated[idx].params.c, c) << idx;
+        EXPECT_EQ(result.evaluated[idx].params.kernel.gamma, gamma) << idx;
+        EXPECT_EQ(result.evaluated[idx].params.epsilon, eps) << idx;
+        if (cv_mse < best_cv_mse) {
+          best_cv_mse = cv_mse;
+          best_params = params;
+        }
+        ++idx;
+      }
+    }
+  }
+  EXPECT_EQ(result.evaluated.size(), idx);
+  EXPECT_EQ(result.best_cv_mse, best_cv_mse);
+  EXPECT_EQ(result.best_params.c, best_params.c);
+  EXPECT_EQ(result.best_params.kernel.gamma, best_params.kernel.gamma);
+  EXPECT_EQ(result.best_params.epsilon, best_params.epsilon);
+}
+
+TEST(GridSearchTest, TiesBreakTowardLowestGridIndex) {
+  // A constant-zero target inside the epsilon tube: every grid point fits
+  // perfectly, so all cv_mse values tie and the first grid point (in
+  // canonical C-outer order) must win — at any thread count.
+  Dataset data;
+  for (int i = 0; i < 40; ++i) {
+    data.add(Sample{{static_cast<double>(i) / 40.0}, 0.0});
+  }
+  GridSpec spec;
+  spec.c_values = {1.0, 4.0, 16.0};
+  spec.gamma_values = {0.25, 1.0};
+  spec.epsilon_values = {0.1, 0.3};
+  spec.folds = 4;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    spec.threads = threads;
+    const auto result = grid_search_svr(data, spec);
+    for (const auto& point : result.evaluated) {
+      ASSERT_EQ(point.cv_mse, result.best_cv_mse);  // all tied
+    }
+    EXPECT_EQ(result.best_params.c, spec.c_values[0]);
+    EXPECT_EQ(result.best_params.kernel.gamma, spec.gamma_values[0]);
+    EXPECT_EQ(result.best_params.epsilon, spec.epsilon_values[0]);
+  }
 }
 
 TEST(GridSearchTest, DefaultSpecIsUsableOnSmallData) {

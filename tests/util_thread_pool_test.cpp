@@ -1,0 +1,168 @@
+// Tests for util/thread_pool: FIFO task ordering, exception propagation,
+// and parallel_for over degenerate and odd-sized ranges.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace vmtherm::util {
+namespace {
+
+TEST(ThreadPoolTest, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountPassesNonZeroThrough) {
+  EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(7), 7u);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountZeroMeansHardware) {
+  EXPECT_GE(ThreadPool::resolve_thread_count(0), 1u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> pending;
+  for (int i = 0; i < 32; ++i) {
+    pending.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : pending) f.get();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw DataError("task failed"); });
+  EXPECT_THROW(future.get(), DataError);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsSubmitInline) {
+  ThreadPool pool(0);
+  bool ran = false;
+  pool.submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      (void)pool.submit([&done] { done.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ParallelForTest, EmptyRangeCallsNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 0, [&calls](std::size_t) { calls.fetch_add(1); });
+  pool.parallel_for(5, 5, [&calls](std::size_t) { calls.fetch_add(1); });
+  pool.parallel_for(7, 3, [&calls](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleItemRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1, 0);
+  pool.parallel_for(0, 1, [&hits](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ParallelForTest, OddSizedRangeVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kBegin = 3;
+  constexpr std::size_t kEnd = 3 + 17;  // odd count, offset start
+  std::vector<std::atomic<int>> hits(kEnd);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(kBegin, kEnd,
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kBegin; ++i) EXPECT_EQ(hits[i].load(), 0) << i;
+  for (std::size_t i = kBegin; i < kEnd; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ZeroWorkerPoolRunsInlineInOrder) {
+  ThreadPool pool(0);
+  std::vector<std::size_t> visited;
+  pool.parallel_for(0, 5,
+                    [&visited](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromLowestFailingIndex) {
+  ThreadPool pool(4);
+  // Every index throws; the loop must finish all of them and rethrow the
+  // exception belonging to the lowest index, deterministically.
+  std::atomic<int> calls{0};
+  try {
+    pool.parallel_for(2, 13, [&calls](std::size_t i) {
+      calls.fetch_add(1);
+      throw std::runtime_error("boom at " + std::to_string(i));
+    });
+    FAIL() << "parallel_for should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 2");
+  }
+  EXPECT_EQ(calls.load(), 11);  // every index still ran
+}
+
+TEST(ParallelForTest, PreservesExceptionType) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 4,
+                                 [](std::size_t i) {
+                                   if (i == 1) throw DataError("bad fold");
+                                 }),
+               DataError);
+}
+
+TEST(ParallelForTest, LargeRangeSumsCorrectly) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(0, kN, [&sum](std::size_t i) {
+    sum.fetch_add(static_cast<std::uint64_t>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+}
+
+TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_calls{0};
+  pool.parallel_for(0, 4, [&pool, &inner_calls](std::size_t) {
+    pool.parallel_for(0, 4,
+                      [&inner_calls](std::size_t) { inner_calls.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_calls.load(), 16);
+}
+
+TEST(ParallelForTest, ResultSlotsAreScheduleIndependent) {
+  // The determinism contract: each index writes its own slot, so the
+  // gathered output is identical across thread counts.
+  const auto run_with = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> out(101);
+    pool.parallel_for(0, out.size(), [&out](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 - 3.0;
+    });
+    return out;
+  };
+  const auto serial = run_with(0);
+  EXPECT_EQ(serial, run_with(1));
+  EXPECT_EQ(serial, run_with(4));
+}
+
+}  // namespace
+}  // namespace vmtherm::util
