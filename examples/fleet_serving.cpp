@@ -1,0 +1,108 @@
+// fleet_serving — the sharded serving engine at fleet scale.
+//
+// ThermalMonitorService (examples/hotspot_alarm.cpp) is a single-threaded
+// façade: fine for a rack, externally synchronized by design (DESIGN.md §6).
+// This example runs the serving path built for the next three orders of
+// magnitude: a FleetEngine sharding 1000 hosts, streaming one simulated
+// telemetry batch per scrape interval through the concurrent ingestion
+// queues, then asking for the fleet's metrics table and the five hosts most
+// at risk of becoming hotspots.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "serve/engine.h"
+#include "sim/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace vmtherm;
+
+  constexpr std::size_t kHosts = 1000;
+  constexpr std::size_t kSteps = 60;
+  constexpr double kIntervalS = 5.0;
+  constexpr double kHorizonS = 120.0;
+  constexpr double kThresholdC = 70.0;
+
+  std::cout << "vmtherm fleet serving\n=====================\n\n";
+
+  std::cout << "Training stable-temperature model on 80 experiments...\n";
+  sim::ScenarioRanges corpus_ranges;
+  corpus_ranges.duration_s = 1200.0;
+  corpus_ranges.sample_interval_s = 10.0;
+  const auto records = core::generate_corpus(corpus_ranges, 80, /*seed=*/91);
+  core::StableTrainOptions train_options;
+  ml::SvrParams params;
+  params.kernel.gamma = 1.0 / 32;
+  params.c = 512.0;
+  params.epsilon = 0.05;
+  train_options.fixed_params = params;
+  const auto stable =
+      core::StableTemperaturePredictor::train(records, train_options);
+
+  // One simulated telemetry trace per host, deterministic given the seed.
+  std::cout << "Simulating " << kHosts << " host traces...\n";
+  sim::ScenarioRanges fleet_ranges;
+  fleet_ranges.duration_s = static_cast<double>(kSteps) * kIntervalS;
+  fleet_ranges.sample_interval_s = kIntervalS;
+  sim::ScenarioSampler sampler(fleet_ranges, /*seed=*/7);
+  const std::vector<sim::ExperimentConfig> configs = sampler.sample(kHosts);
+  std::vector<sim::TemperatureTrace> traces;
+  traces.reserve(kHosts);
+  for (const sim::ExperimentConfig& config : configs) {
+    traces.push_back(sim::run_experiment(config).trace);
+  }
+
+  // Auto-drain engine: ingest_batch returns once events are queued; pool
+  // workers apply them behind the producer, shard-parallel.
+  serve::FleetEngineOptions options;
+  options.shards = 8;
+  serve::FleetEngine engine(stable, options);
+
+  std::vector<serve::HostHandle> handles;
+  handles.reserve(kHosts);
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    mgmt::MonitoredConfig config;
+    config.server = configs[h].server;
+    config.fans = configs[h].active_fans;
+    config.vms = configs[h].vms;
+    config.env_temp_c = configs[h].environment.base_c;
+    char name[16];
+    std::snprintf(name, sizeof name, "host-%04zu", h);
+    handles.push_back(engine.register_host(name, config, traces[h][0].time_s,
+                                           traces[h][0].cpu_temp_sensed_c));
+  }
+
+  std::cout << "Streaming " << kSteps << " scrape rounds ("
+            << kHosts * kSteps << " events)...\n";
+  for (std::size_t step = 1; step <= kSteps; ++step) {
+    std::vector<serve::TelemetryEvent> batch;
+    batch.reserve(kHosts);
+    for (std::size_t h = 0; h < kHosts; ++h) {
+      const std::size_t index = std::min(step, traces[h].size() - 1);
+      batch.push_back(serve::TelemetryEvent::observe(
+          handles[h], traces[h][index].time_s,
+          traces[h][index].cpu_temp_sensed_c));
+    }
+    engine.ingest_batch(std::move(batch));
+  }
+  engine.flush();  // barrier: every queued event applied
+
+  std::cout << "\nEngine metrics:\n\n";
+  engine.metrics().to_table().print(std::cout, 2);
+
+  const auto risks = engine.hotspot_scan(kHorizonS, kThresholdC);
+  Table top({"host", "forecast_C_at_+120s", "at_risk"});
+  for (std::size_t i = 0; i < risks.size() && i < 5; ++i) {
+    top.add_row({risks[i].host_id, Table::num(risks[i].forecast_c, 2),
+                 risks[i].at_risk ? "YES" : "no"});
+  }
+  std::cout << "\nTop-5 hotspot risks (threshold " << kThresholdC << " C):\n\n";
+  top.print(std::cout, 2);
+
+  std::cout << "\nThe same stream replayed at any shard or thread count\n"
+            << "produces these exact forecasts (see DESIGN.md §7).\n";
+  return 0;
+}

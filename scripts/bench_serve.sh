@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Fleet-serving bench: configures a Release build, builds perf_serve and
+# writes BENCH_serve.json (ingest/apply throughput per shard count, forecast
+# latency quantiles) to the repo root. Run from the repo root:
+#
+#   scripts/bench_serve.sh [build-dir] [-- perf_serve args...]
+set -eu
+
+BUILD_DIR="${1:-build-release}"
+[ $# -gt 0 ] && shift
+[ "${1:-}" = "--" ] && shift
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target perf_serve
+
+"$BUILD_DIR"/bench/perf_serve --out BENCH_serve.json "$@"

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# AddressSanitizer check (mirror of check_tsan.sh): configures an ASan
+# build (-DVMTHERM_SANITIZE=address) and runs the concurrent and serving
+# test suites under it. Run from the repo root:
+#
+#   scripts/check_asan.sh [build-dir]
+#
+# Benches and examples are skipped — only the tested paths need the
+# instrumented build.
+set -eu
+
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVMTHERM_SANITIZE=address \
+  -DVMTHERM_BUILD_BENCH=OFF \
+  -DVMTHERM_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j \
+  --target util_thread_pool_test ml_cv_test ml_grid_test cli_test \
+           serve_metrics_test serve_engine_test serve_snapshot_test \
+           serve_replay_test
+
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j 2 \
+  -R 'ThreadPool|ParallelFor|MakeFolds|CrossValidatedMse|GridSearch|RunCli|FleetEngine|MetricsTest|FleetSnapshot|FleetReplay'

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
-# ThreadSanitizer check for the concurrent ML paths: configures a TSan
-# build (-DVMTHERM_SANITIZE=thread) and runs the thread-pool, CV and
-# grid-search test suites under it. Run from the repo root:
+# ThreadSanitizer check for the concurrent paths: configures a TSan build
+# (-DVMTHERM_SANITIZE=thread) and runs the thread-pool, CV, grid-search and
+# fleet-serving test suites under it. Run from the repo root:
 #
 #   scripts/check_tsan.sh [build-dir]
 #
@@ -17,8 +17,9 @@ cmake -B "$BUILD_DIR" -S . \
   -DVMTHERM_BUILD_BENCH=OFF \
   -DVMTHERM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
-  --target util_thread_pool_test ml_cv_test ml_grid_test cli_test
+  --target util_thread_pool_test ml_cv_test ml_grid_test cli_test \
+           serve_metrics_test serve_engine_test
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j 2 \
-  -R 'ThreadPool|ParallelFor|MakeFolds|CrossValidatedMse|GridSearch|RunCli'
+  -R 'ThreadPool|ParallelFor|MakeFolds|CrossValidatedMse|GridSearch|RunCli|FleetEngine|MetricsTest'

@@ -4,10 +4,15 @@
 #include <map>
 #include <ostream>
 
+#include <iomanip>
+#include <sstream>
+
 #include "cli/args.h"
 #include "core/evaluator.h"
 #include "core/record_store.h"
 #include "core/tbreak.h"
+#include "serve/replay.h"
+#include "serve/snapshot.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -98,10 +103,47 @@ CommandSpec dynamic_spec() {
   return spec;
 }
 
+CommandSpec serve_replay_spec() {
+  CommandSpec spec("serve-replay",
+                   "pump a simulated fleet's temperature traces through the "
+                   "sharded serving engine and report forecasts, hotspots "
+                   "and metrics (bitwise-deterministic per seed at any "
+                   "shard/thread count)");
+  spec.add(make_option("model", "trained model path", true));
+  spec.add(make_option("hosts", "fleet size", false, false, false, "32"));
+  spec.add(make_option("steps", "observe events per host", false, false,
+                       false, "120"));
+  spec.add(make_option("interval", "trace sampling interval in seconds",
+                       false, false, false, "5"));
+  spec.add(make_option("gap", "forecast gap in seconds", false, false, false,
+                       "60"));
+  spec.add(make_option("horizon", "hotspot-scan horizon in seconds", false,
+                       false, false, "60"));
+  spec.add(make_option("threshold", "hotspot threshold in deg C", false,
+                       false, false, "75"));
+  spec.add(make_option("shards", "engine shard count", false, false, false,
+                       "4"));
+  spec.add(make_option("threads", "engine worker threads (0 = hardware)",
+                       false, false, false, "0"));
+  spec.add(make_option("queue-capacity", "per-shard queue capacity", false,
+                       false, false, "4096"));
+  spec.add(make_option("seed", "scenario seed", false, false, false, "1"));
+  spec.add(make_option("churn-every",
+                       "config-churn period in steps (0 = no churn)", false,
+                       false, false, "0"));
+  spec.add(make_option("top", "hotspot rows to print", false, false, false,
+                       "5"));
+  spec.add(make_option("snapshot", "write a fleet snapshot to this path",
+                       false));
+  spec.add(make_option("json", "print the deterministic metrics JSON", false,
+                       true));
+  return spec;
+}
+
 const std::vector<CommandSpec>& all_specs() {
   static const std::vector<CommandSpec> specs = {
-      simulate_spec(), train_spec(), evaluate_spec(), predict_spec(),
-      dynamic_spec(), tbreak_spec()};
+      simulate_spec(),  train_spec(),  evaluate_spec(),     predict_spec(),
+      dynamic_spec(),   tbreak_spec(), serve_replay_spec()};
   return specs;
 }
 
@@ -285,6 +327,50 @@ int cmd_tbreak(const ParsedArgs& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_serve_replay(const ParsedArgs& args, std::ostream& out) {
+  auto predictor = core::StableTemperaturePredictor::load(args.get("model"));
+
+  serve::ReplayOptions options;
+  options.hosts = static_cast<std::size_t>(args.get_long("hosts"));
+  options.steps = static_cast<std::size_t>(args.get_long("steps"));
+  options.sample_interval_s = args.get_double("interval");
+  options.gap_s = args.get_double("gap");
+  options.horizon_s = args.get_double("horizon");
+  options.threshold_c = args.get_double("threshold");
+  options.seed = static_cast<std::uint64_t>(args.get_long("seed"));
+  options.churn_every = static_cast<std::size_t>(args.get_long("churn-every"));
+  options.engine.shards = static_cast<std::size_t>(args.get_long("shards"));
+  options.engine.threads = static_cast<std::size_t>(args.get_long("threads"));
+  options.engine.queue_capacity =
+      static_cast<std::size_t>(args.get_long("queue-capacity"));
+
+  out << "replaying " << options.hosts << " hosts x " << options.steps
+      << " steps across " << options.engine.shards << " shards...\n";
+  auto report = serve::run_fleet_replay(std::move(predictor), options);
+
+  std::ostringstream digest;
+  digest << std::hex << std::setw(16) << std::setfill('0')
+         << report.forecast_digest;
+  print_kv(out, "events ingested", std::to_string(report.events_ingested));
+  print_kv(out, "forecast digest", digest.str());
+
+  const auto top = static_cast<std::size_t>(args.get_long("top"));
+  Table table({"host", "forecast_C", "at_risk"});
+  for (std::size_t i = 0; i < report.risks.size() && i < top; ++i) {
+    const auto& risk = report.risks[i];
+    table.add_row({risk.host_id, Table::num(risk.forecast_c, 2),
+                   risk.at_risk ? "yes" : "no"});
+  }
+  table.print(out);
+
+  if (args.get_flag("json")) out << report.metrics_json << "\n";
+  if (args.has("snapshot")) {
+    serve::save_fleet_file(args.get("snapshot"), *report.engine);
+    out << "snapshot saved to " << args.get("snapshot") << "\n";
+  }
+  return 0;
+}
+
 void print_global_help(std::ostream& out) {
   out << "vmtherm - VM-level temperature profiling and prediction\n\n"
       << "commands:\n";
@@ -346,6 +432,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       if (command == "predict") return cmd_predict(parsed, out);
       if (command == "dynamic") return cmd_dynamic(parsed, out);
       if (command == "tbreak") return cmd_tbreak(parsed, out);
+      if (command == "serve-replay") return cmd_serve_replay(parsed, out);
     }
     err << "unknown command: " << command << "\n\n";
     print_global_help(err);

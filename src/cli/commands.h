@@ -8,6 +8,8 @@
 //   vmtherm predict   --model model.txt --server medium --fans 4 --env 23
 //                     --vm cpu_burn:4:8 --vm web_server:2:4
 //   vmtherm tbreak    --count 16 --seed 7 --fans 4
+//   vmtherm serve-replay --model model.txt --hosts 64 --steps 120
+//                     --shards 4 [--snapshot fleet.txt] [--json]
 //   vmtherm help [command]
 
 #pragma once

@@ -19,6 +19,16 @@ bool CusumDetector::observe(double residual_c) {
   return fired;
 }
 
+void CusumDetector::restore(double positive_sum, double negative_sum,
+                            bool drifted, std::size_t observation_count) {
+  detail::require(positive_sum >= 0.0 && negative_sum >= 0.0,
+                  "cusum accumulators must be non-negative");
+  positive_ = positive_sum;
+  negative_ = negative_sum;
+  drifted_ = drifted;
+  count_ = observation_count;
+}
+
 void CusumDetector::reset() noexcept {
   positive_ = 0.0;
   negative_ = 0.0;

@@ -39,6 +39,11 @@ class CusumDetector {
   /// Clears state (after retraining).
   void reset() noexcept;
 
+  /// Restores accumulator state exported via the accessors above (serving
+  /// snapshots). Throws ConfigError on negative accumulators.
+  void restore(double positive_sum, double negative_sum, bool drifted,
+               std::size_t observation_count);
+
  private:
   double slack_;
   double threshold_;

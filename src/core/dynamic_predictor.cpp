@@ -70,6 +70,39 @@ void DynamicTemperaturePredictor::retarget(double t, double phi_now,
                            options_.curvature);
 }
 
+DynamicPredictorState DynamicTemperaturePredictor::export_state()
+    const noexcept {
+  DynamicPredictorState state;
+  state.started = started_;
+  state.t0 = t0_;
+  state.gamma = gamma_;
+  state.last_update_s = last_update_s_;
+  state.last_observed_s = last_observed_s_;
+  state.phi0 = phi0_;
+  state.psi_stable = psi_stable_;
+  return state;
+}
+
+void DynamicTemperaturePredictor::restore_state(
+    const DynamicPredictorState& state) {
+  if (!state.started) {
+    *this = DynamicTemperaturePredictor(options_);
+    return;
+  }
+  detail::require(state.last_observed_s >= state.t0 &&
+                      state.last_update_s >= state.t0,
+                  "dynamic predictor state has observations before t0");
+  started_ = true;
+  t0_ = state.t0;
+  gamma_ = state.gamma;
+  last_update_s_ = state.last_update_s;
+  last_observed_s_ = state.last_observed_s;
+  phi0_ = state.phi0;
+  psi_stable_ = state.psi_stable;
+  curve_ = PredefinedCurve(phi0_, psi_stable_, options_.t_break_s,
+                           options_.curvature);
+}
+
 const PredefinedCurve& DynamicTemperaturePredictor::curve() const {
   require_started();
   return curve_;

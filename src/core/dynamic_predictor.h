@@ -48,6 +48,19 @@ struct DynamicOptions {
   }
 };
 
+/// The full mutable state of a DynamicTemperaturePredictor, as plain data.
+/// Exported/restored by the serving layer's snapshot machinery so a
+/// restarted service resumes with its calibration intact instead of cold.
+struct DynamicPredictorState {
+  bool started = false;
+  double t0 = 0.0;
+  double gamma = 0.0;
+  double last_update_s = 0.0;
+  double last_observed_s = 0.0;
+  double phi0 = 0.0;
+  double psi_stable = 0.0;
+};
+
 /// Online dynamic temperature predictor for one machine.
 class DynamicTemperaturePredictor {
  public:
@@ -82,6 +95,15 @@ class DynamicTemperaturePredictor {
 
   double calibration() const noexcept { return gamma_; }
   const DynamicOptions& options() const noexcept { return options_; }
+
+  /// Plain-data copy of the mutable state (snapshot support).
+  DynamicPredictorState export_state() const noexcept;
+
+  /// Restores a state produced by export_state() — bitwise-exact: the curve
+  /// is rebuilt from the same doubles, so subsequent predictions equal the
+  /// original predictor's. Options keep their constructed values. Throws
+  /// ConfigError on inconsistent states (observation times before t0).
+  void restore_state(const DynamicPredictorState& state);
 
   /// The current underlying curve (throws ConfigError before begin()).
   const PredefinedCurve& curve() const;

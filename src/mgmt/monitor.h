@@ -36,7 +36,9 @@ struct HotspotRisk {
 /// Online thermal monitoring over a fleet.
 ///
 /// Thread-compatibility: externally synchronized (one control-plane
-/// thread), like most service façades in this library.
+/// thread), per the DESIGN.md §6 rule — service façades stay single-
+/// threaded; concurrency lives in serve::FleetEngine, the library's one
+/// internally synchronized service.
 class ThermalMonitorService {
  public:
   /// The service copies the predictor (value semantics; the model is a few

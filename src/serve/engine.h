@@ -1,0 +1,160 @@
+// vmtherm/serve/engine.h
+//
+// FleetEngine: the sharded, internally synchronized fleet-serving engine.
+// Hosts are partitioned across N shards by a stable FNV-1a hash of their
+// id; each shard owns a bounded MPSC ingestion queue plus its hosts'
+// calibrated dynamic predictors, and drains on a shared util::ThreadPool —
+// per-host event ordering is preserved (a shard has at most one active
+// drainer) while cross-shard processing is fully parallel.
+//
+// Results are bitwise-deterministic in the logical event stream: for a
+// fixed per-host event sequence, forecasts, hotspot scans, snapshots and
+// every kDeterministic metric are identical at any shard/thread count
+// (per-host state only ever depends on that host's own events). See
+// DESIGN.md §7 for the ordering and backpressure contract.
+//
+// This is the one *internally synchronized* service façade in the library
+// (DESIGN.md §6); ThermalMonitorService remains the externally
+// synchronized single-control-plane variant.
+
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stable_predictor.h"
+#include "serve/event.h"
+#include "serve/metrics.h"
+#include "serve/shard.h"
+#include "util/thread_pool.h"
+
+namespace vmtherm::serve {
+
+class FleetEngine {
+ public:
+  /// The engine copies the predictor; shards share it read-only
+  /// (SvrModel::predict is const and touches no mutable state).
+  explicit FleetEngine(core::StableTemperaturePredictor predictor,
+                       FleetEngineOptions options = {});
+
+  /// Drains every queue before destruction (no event is lost).
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  // --- control plane ------------------------------------------------------
+  // Synchronous and internally synchronized. Ordering caveat: a synchronous
+  // control-plane call takes effect immediately, *before* any still-queued
+  // telemetry drains; call flush() first when that ordering matters.
+
+  /// Registers a host and returns its handle. Host ids must be non-empty,
+  /// whitespace-free (snapshot format tokens) and unique; throws
+  /// ConfigError otherwise.
+  HostHandle register_host(const std::string& host_id,
+                           mgmt::MonitoredConfig config, double t0,
+                           double measured_c);
+
+  /// Unregisters; queued events still addressed to the handle are counted
+  /// as apply errors when they drain. Throws ConfigError when unknown.
+  void unregister_host(HostHandle handle);
+
+  /// Handle lookup; returns kInvalidHostHandle when unknown/unregistered.
+  HostHandle handle_of(const std::string& host_id) const;
+  bool has_host(const std::string& host_id) const;
+  std::size_t host_count() const;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Stable shard assignment: fnv1a64(host_id) % shards.
+  std::size_t shard_of(const std::string& host_id) const noexcept;
+
+  // --- data plane ---------------------------------------------------------
+
+  /// Enqueues one event. Throws ConfigError on an invalid handle; delivery
+  /// then follows the backpressure policy (block or drop + count).
+  void ingest(TelemetryEvent event);
+
+  /// Enqueues a batch: events are grouped per shard with one lock
+  /// acquisition per shard run, preserving the batch's relative order
+  /// within each shard. Throws ConfigError if any handle is invalid (no
+  /// event of the batch is enqueued in that case).
+  void ingest_batch(std::vector<TelemetryEvent> events);
+
+  /// Barrier: returns once every event ingested before the call has been
+  /// applied. In manual drain mode this drains on the calling thread.
+  void flush();
+
+  // --- queries ------------------------------------------------------------
+  // Safe to call concurrently with ingestion; for deterministic results
+  // relative to the event stream, flush() first.
+
+  double forecast(HostHandle handle, double gap_s) const;
+
+  /// Batched forecasting: requests are grouped per shard and evaluated in
+  /// parallel on the pool, results land in request order.
+  std::vector<double> forecast_batch(
+      const std::vector<ForecastRequest>& requests) const;
+
+  /// Fleet-wide risk scan, parallel over shards. Rows sorted hottest
+  /// first, host id ascending on ties (deterministic merge).
+  std::vector<mgmt::HotspotRisk> hotspot_scan(double horizon_s,
+                                              double threshold_c) const;
+
+  mgmt::MonitoredConfig config_of(HostHandle handle) const;
+  double calibration_of(HostHandle handle) const;
+  bool drifted(HostHandle handle) const;
+
+  /// Live host states sorted by host id (snapshot support; deterministic
+  /// output at any shard count).
+  std::vector<HostSnapshot> export_hosts() const;
+
+  /// Re-creates a host from a snapshot with its exact tracker/drift state
+  /// (no begin()); same id rules as register_host.
+  HostHandle import_host(const HostSnapshot& snapshot);
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  const core::StableTemperaturePredictor& stable_predictor() const noexcept {
+    return predictor_;
+  }
+  const FleetEngineOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Route {
+    std::uint32_t shard = 0;
+    std::uint32_t slot = 0;
+    bool live = false;
+  };
+
+  HostHandle add_route(const std::string& host_id, std::uint32_t shard,
+                       std::uint32_t slot);
+  Route route_of(HostHandle handle) const;
+
+  core::StableTemperaturePredictor predictor_;
+  FleetEngineOptions options_;
+  MetricsRegistry metrics_;
+  ShardMetrics shard_metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// mutable: const queries (forecast_batch, hotspot_scan) parallelize on
+  /// the pool without mutating engine state.
+  mutable util::ThreadPool pool_;
+
+  /// Guards routes_/names_: shared for the per-event hot path, exclusive
+  /// for (un)registration.
+  mutable std::shared_mutex routes_mutex_;
+  std::vector<Route> routes_;  ///< indexed by handle
+  std::unordered_map<std::string, HostHandle> names_;
+
+  Counter* batches_ = nullptr;
+  Counter* forecasts_ = nullptr;
+  Counter* scans_ = nullptr;
+  Gauge* hosts_gauge_ = nullptr;
+  Histogram* forecast_batch_us_ = nullptr;
+};
+
+}  // namespace vmtherm::serve

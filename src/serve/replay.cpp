@@ -1,0 +1,111 @@
+#include "serve/replay.h"
+
+#include <bit>
+#include <utility>
+
+#include "sim/experiment.h"
+#include "util/hash.h"
+
+namespace vmtherm::serve {
+
+void ReplayOptions::validate() const {
+  detail::require(hosts >= 1, "replay needs at least one host");
+  detail::require(steps >= 1, "replay needs at least one step");
+  detail::require(sample_interval_s > 0.0,
+                  "replay sample interval must be positive");
+  detail::require(gap_s > 0.0, "replay gap must be positive");
+  detail::require(horizon_s > 0.0, "replay horizon must be positive");
+  engine.validate();
+}
+
+std::string replay_host_id(std::size_t index) {
+  std::string digits = std::to_string(index);
+  if (digits.size() < 4) digits.insert(0, 4 - digits.size(), '0');
+  return "host-" + digits;
+}
+
+ReplayReport run_fleet_replay(core::StableTemperaturePredictor predictor,
+                              const ReplayOptions& options) {
+  options.validate();
+
+  // Per-host traces: one simulated experiment per host, long enough to
+  // cover every replay step. Deterministic given the seed.
+  sim::ScenarioRanges ranges;
+  ranges.duration_s =
+      static_cast<double>(options.steps) * options.sample_interval_s;
+  ranges.sample_interval_s = options.sample_interval_s;
+  sim::ScenarioSampler sampler(ranges, options.seed);
+  const std::vector<sim::ExperimentConfig> configs =
+      sampler.sample(options.hosts);
+  std::vector<sim::TemperatureTrace> traces;
+  traces.reserve(options.hosts);
+  for (const sim::ExperimentConfig& config : configs) {
+    traces.push_back(sim::run_experiment(config).trace);
+  }
+
+  ReplayReport report;
+  report.hosts = options.hosts;
+  report.steps = options.steps;
+  report.engine =
+      std::make_unique<FleetEngine>(std::move(predictor), options.engine);
+  FleetEngine& engine = *report.engine;
+
+  std::vector<HostHandle> handles;
+  std::vector<ForecastRequest> requests;
+  handles.reserve(options.hosts);
+  requests.reserve(options.hosts);
+  for (std::size_t h = 0; h < options.hosts; ++h) {
+    mgmt::MonitoredConfig config;
+    config.server = configs[h].server;
+    config.fans = configs[h].active_fans;
+    config.vms = configs[h].vms;
+    config.env_temp_c = configs[h].environment.base_c;
+    const sim::TracePoint& first = traces[h][0];
+    handles.push_back(engine.register_host(replay_host_id(h), config,
+                                           first.time_s,
+                                           first.cpu_temp_sensed_c));
+    requests.push_back(ForecastRequest{handles[h], options.gap_s});
+  }
+
+  std::uint64_t digest = util::kFnv1a64Offset;
+  std::vector<TelemetryEvent> batch;
+  for (std::size_t step = 1; step <= options.steps; ++step) {
+    batch.clear();
+    batch.reserve(options.hosts);
+    for (std::size_t h = 0; h < options.hosts; ++h) {
+      const sim::TemperatureTrace& trace = traces[h];
+      const std::size_t index = std::min(step, trace.size() - 1);
+      const sim::TracePoint& point = trace[index];
+      const bool churn = options.churn_every > 0 &&
+                         step % options.churn_every == 0 &&
+                         (step / options.churn_every - 1) % options.hosts == h;
+      if (churn) {
+        // Cycle the host's active fan count: a realistic management action
+        // that retargets the stable temperature mid-stream.
+        mgmt::MonitoredConfig next = engine.config_of(handles[h]);
+        next.fans = next.fans % next.server.fan_slots + 1;
+        batch.push_back(TelemetryEvent::update_config(
+            handles[h], point.time_s, point.cpu_temp_sensed_c,
+            std::move(next)));
+      } else {
+        batch.push_back(TelemetryEvent::observe(handles[h], point.time_s,
+                                                point.cpu_temp_sensed_c));
+      }
+    }
+    engine.ingest_batch(std::move(batch));
+    batch = {};
+    engine.flush();
+    const std::vector<double> forecasts = engine.forecast_batch(requests);
+    for (const double forecast : forecasts) {
+      digest = util::fnv1a64_mix(digest, std::bit_cast<std::uint64_t>(forecast));
+    }
+  }
+
+  report.forecast_digest = digest;
+  report.risks = engine.hotspot_scan(options.horizon_s, options.threshold_c);
+  report.events_ingested = engine.metrics().counter("ingest.events").value();
+  report.metrics_json = engine.metrics().to_json(/*include_timing=*/false);
+  return report;
+}
+
+}  // namespace vmtherm::serve

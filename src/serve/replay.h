@@ -1,0 +1,66 @@
+// vmtherm/serve/replay.h
+//
+// Deterministic fleet replay: synthesize a fleet of simulated hosts
+// (ScenarioSampler + run_experiment), pump their temperature traces through
+// a FleetEngine step by step, and fold every forecast's exact bit pattern
+// into an FNV-1a digest. Because the engine is deterministic in the logical
+// event stream, the digest — and the deterministic metrics JSON — are
+// identical for a fixed (seed, hosts, steps) at ANY shard/thread count;
+// the replay tests and the `vmtherm serve-replay` subcommand rely on this.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stable_predictor.h"
+#include "serve/engine.h"
+
+namespace vmtherm::serve {
+
+/// Replay configuration.
+struct ReplayOptions {
+  std::size_t hosts = 32;          ///< fleet size
+  std::size_t steps = 120;         ///< observe events pumped per host
+  double sample_interval_s = 5.0;  ///< trace sampling interval
+  double gap_s = 60.0;             ///< forecast gap Δ_gap
+  double horizon_s = 60.0;         ///< final hotspot-scan horizon
+  double threshold_c = 75.0;       ///< hotspot threshold
+  std::uint64_t seed = 1;          ///< scenario sampler seed
+  /// Every `churn_every` steps one host (round-robin) receives an
+  /// update_config event cycling its active fan count (0 = no churn).
+  std::size_t churn_every = 0;
+  /// Engine knobs (shards/threads/queue/backpressure/drain are taken from
+  /// here; dynamic/drift defaults apply).
+  FleetEngineOptions engine;
+
+  void validate() const;
+};
+
+/// Replay outcome. Move-only: carries the engine for snapshotting and
+/// further inspection.
+struct ReplayReport {
+  std::size_t hosts = 0;
+  std::size_t steps = 0;
+  std::uint64_t events_ingested = 0;
+  /// FNV-1a fold of every per-step forecast's IEEE-754 bit pattern, in
+  /// (step, host) order. Equal digests mean bitwise-equal forecast streams.
+  std::uint64_t forecast_digest = 0;
+  /// Final fleet-wide scan, hottest first.
+  std::vector<mgmt::HotspotRisk> risks;
+  /// Deterministic metrics subset (to_json(include_timing=false)).
+  std::string metrics_json;
+  std::unique_ptr<FleetEngine> engine;
+};
+
+/// Runs the replay. Deterministic given `options` (including at any
+/// shards/threads setting). Throws ConfigError on invalid options.
+ReplayReport run_fleet_replay(core::StableTemperaturePredictor predictor,
+                              const ReplayOptions& options);
+
+/// Stable host naming used by the replay fleet: "host-0000", "host-0001"...
+std::string replay_host_id(std::size_t index);
+
+}  // namespace vmtherm::serve

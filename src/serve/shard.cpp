@@ -1,0 +1,261 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace vmtherm::serve {
+
+namespace {
+
+/// Events applied per state-lock acquisition: large enough to amortize the
+/// lock, small enough that synchronous reads interleave with a busy drain.
+constexpr std::size_t kDrainChunk = 256;
+
+}  // namespace
+
+Shard::Shard(const core::StableTemperaturePredictor* predictor,
+             const FleetEngineOptions* options, ShardMetrics metrics)
+    : predictor_(predictor), options_(options), metrics_(metrics) {}
+
+std::uint32_t Shard::add_host(std::string host_id,
+                              mgmt::MonitoredConfig config, double t0,
+                              double measured_c) {
+  config.server.validate();
+  const double psi = predictor_->predict(config.server, config.vms,
+                                         config.fans, config.env_temp_c);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  HostState host{std::move(host_id),
+                 std::move(config),
+                 core::DynamicTemperaturePredictor(options_->dynamic),
+                 core::CusumDetector(options_->drift_slack_c,
+                                     options_->drift_threshold_c),
+                 {},
+                 true};
+  host.tracker.begin(t0, measured_c, psi);
+  hosts_.push_back(std::move(host));
+  ++live_count_;
+  return static_cast<std::uint32_t>(hosts_.size() - 1);
+}
+
+std::uint32_t Shard::import_host(const HostSnapshot& snapshot) {
+  snapshot.config.server.validate();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  HostState host{snapshot.host_id,
+                 snapshot.config,
+                 core::DynamicTemperaturePredictor(options_->dynamic),
+                 core::CusumDetector(options_->drift_slack_c,
+                                     options_->drift_threshold_c),
+                 snapshot.residuals,
+                 true};
+  host.tracker.restore_state(snapshot.tracker);
+  host.drift.restore(snapshot.drift_positive, snapshot.drift_negative,
+                     snapshot.drifted, snapshot.drift_observations);
+  hosts_.push_back(std::move(host));
+  ++live_count_;
+  return static_cast<std::uint32_t>(hosts_.size() - 1);
+}
+
+void Shard::remove_host(std::uint32_t slot) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  detail::require(slot < hosts_.size() && hosts_[slot].live,
+                  "shard slot is not live");
+  hosts_[slot].live = false;
+  --live_count_;
+}
+
+std::size_t Shard::live_host_count() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return live_count_;
+}
+
+void Shard::enqueue_run(Run&& run, util::ThreadPool* pool) {
+  if (run.events.empty()) return;
+  bool schedule_drain = false;
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (options_->backpressure == BackpressurePolicy::kBlock) {
+      // Watermark semantics: wait until the backlog is below capacity, then
+      // admit the whole run (overshoot is bounded by one run). Admitting
+      // runs whole keeps producer-visible enqueue cost O(1) per run.
+      space_available_.wait(lock, [this] {
+        return queued_events_ < options_->queue_capacity;
+      });
+    } else {
+      const std::size_t space = options_->queue_capacity > queued_events_
+                                    ? options_->queue_capacity - queued_events_
+                                    : 0;
+      if (space < run.events.size()) {
+        // Tail-drop; surviving config payloads stay owned by the run.
+        metrics_.dropped->add(
+            static_cast<std::uint64_t>(run.events.size() - space));
+        run.events.resize(space);
+      }
+      if (run.events.empty()) return;
+    }
+    queued_events_ += run.events.size();
+    metrics_.ingested->add(static_cast<std::uint64_t>(run.events.size()));
+    metrics_.queue_high_water->update_max(
+        static_cast<std::int64_t>(queued_events_));
+    queue_.push_back(std::move(run));
+    if (pool != nullptr && !drain_active_) {
+      drain_active_ = true;
+      schedule_drain = true;
+    }
+  }
+  if (schedule_drain) {
+    pool->submit([this] { drain_until_empty(); });
+  }
+}
+
+void Shard::flush(bool drain_inline) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  if (drain_inline) {
+    // Claim the drain (mirrors the pool task's protocol so a manual flush
+    // is safe even if another drainer is mid-flight).
+    drained_.wait(lock, [this] { return !drain_active_; });
+    if (queue_.empty()) return;
+    drain_active_ = true;
+    lock.unlock();
+    drain_until_empty();
+    return;
+  }
+  drained_.wait(lock, [this] { return queue_.empty() && !drain_active_; });
+}
+
+void Shard::drain_until_empty() {
+  for (;;) {
+    Run run;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.empty()) {
+        drain_active_ = false;
+        drained_.notify_all();
+        return;
+      }
+      run = std::move(queue_.front());
+      queue_.pop_front();
+      queued_events_ -= run.events.size();
+    }
+    // Space frees at dequeue (not at apply), matching queued_events_.
+    space_available_.notify_all();
+
+    // Apply in chunks so synchronous reads interleave with a busy drain.
+    const std::size_t count = run.events.size();
+    for (std::size_t begin = 0; begin < count; begin += kDrainChunk) {
+      const std::size_t end = std::min(count, begin + kDrainChunk);
+      const auto start = std::chrono::steady_clock::now();
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        for (std::size_t i = begin; i < end; ++i) apply(run.events[i]);
+      }
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      metrics_.drain_batch_us->record(
+          std::chrono::duration<double, std::micro>(elapsed).count());
+    }
+  }
+}
+
+void Shard::apply(const QueuedEvent& event) {
+  if (event.slot >= hosts_.size() || !hosts_[event.slot].live) {
+    metrics_.apply_errors->add(1);
+    return;
+  }
+  HostState& host = hosts_[event.slot];
+  try {
+    switch (event.type) {
+      case TelemetryEvent::Type::kObserve: {
+        // Prequential residual: score the current calibrated prediction
+        // before the observation updates it.
+        const double predicted = host.tracker.predict_at(event.time_s);
+        const double residual = event.measured_c - predicted;
+        host.residuals.add(residual);
+        metrics_.calibration_abs_error_c->record(std::abs(residual));
+        const bool was_drifted = host.drift.drifted();
+        host.drift.observe(residual);
+        if (!was_drifted && host.drift.drifted()) {
+          metrics_.drift_signals->add(1);
+        }
+        host.tracker.observe(event.time_s, event.measured_c);
+        metrics_.observe_applied->add(1);
+        break;
+      }
+      case TelemetryEvent::Type::kUpdateConfig: {
+        detail::require(event.config != nullptr,
+                        "update_config event without a config payload");
+        event.config->server.validate();
+        host.config = *event.config;
+        const double psi = predictor_->predict(
+            host.config.server, host.config.vms, host.config.fans,
+            host.config.env_temp_c);
+        host.tracker.retarget(event.time_s, event.measured_c, psi);
+        metrics_.config_applied->add(1);
+        break;
+      }
+    }
+  } catch (const Error&) {
+    // Async path: producers are long gone, so malformed events (time going
+    // backwards, invalid configs) are counted, never thrown.
+    metrics_.apply_errors->add(1);
+  }
+}
+
+double Shard::forecast(std::uint32_t slot, double gap_s) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  detail::require(slot < hosts_.size() && hosts_[slot].live,
+                  "shard slot is not live");
+  return hosts_[slot].tracker.predict_ahead(gap_s);
+}
+
+mgmt::MonitoredConfig Shard::config_of(std::uint32_t slot) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  detail::require(slot < hosts_.size() && hosts_[slot].live,
+                  "shard slot is not live");
+  return hosts_[slot].config;
+}
+
+double Shard::calibration_of(std::uint32_t slot) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  detail::require(slot < hosts_.size() && hosts_[slot].live,
+                  "shard slot is not live");
+  return hosts_[slot].tracker.calibration();
+}
+
+bool Shard::drifted(std::uint32_t slot) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  detail::require(slot < hosts_.size() && hosts_[slot].live,
+                  "shard slot is not live");
+  return hosts_[slot].drift.drifted();
+}
+
+void Shard::append_risks(double horizon_s, double threshold_c,
+                         std::vector<mgmt::HotspotRisk>& out) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  for (const HostState& host : hosts_) {
+    if (!host.live) continue;
+    mgmt::HotspotRisk risk;
+    risk.host_id = host.host_id;
+    risk.forecast_c = host.tracker.predict_ahead(horizon_s);
+    risk.at_risk = risk.forecast_c >= threshold_c;
+    out.push_back(std::move(risk));
+  }
+}
+
+void Shard::append_snapshots(std::vector<HostSnapshot>& out) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  for (const HostState& host : hosts_) {
+    if (!host.live) continue;
+    HostSnapshot snapshot;
+    snapshot.host_id = host.host_id;
+    snapshot.config = host.config;
+    snapshot.tracker = host.tracker.export_state();
+    snapshot.residuals = host.residuals;
+    snapshot.drift_positive = host.drift.positive_sum();
+    snapshot.drift_negative = host.drift.negative_sum();
+    snapshot.drifted = host.drift.drifted();
+    snapshot.drift_observations = host.drift.observation_count();
+    out.push_back(std::move(snapshot));
+  }
+}
+
+}  // namespace vmtherm::serve

@@ -1,0 +1,160 @@
+// vmtherm/serve/shard.h
+//
+// One shard of the fleet-serving engine: a bounded MPSC ingestion queue
+// plus the owned state of every host the stable hash assigned here (config,
+// calibrated dynamic predictor, residual statistics, CUSUM drift state).
+//
+// Concurrency protocol (see DESIGN.md §7):
+//  * queue_mutex_ guards the event queue and the drain-claim flag; any
+//    thread may enqueue (MPSC producers).
+//  * At most one drainer is active per shard at any time (drain_active_),
+//    so events apply strictly in queue order — this is what preserves
+//    per-host event ordering while different shards drain in parallel.
+//  * state_mutex_ guards the host table; the drainer takes it per chunk,
+//    synchronous reads (forecast, scans, snapshot export) take it briefly.
+//
+// Shards are engine-internal: FleetEngine owns slot assignment and
+// validates handles before events reach a shard.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/drift.h"
+#include "core/stable_predictor.h"
+#include "serve/event.h"
+#include "serve/metrics.h"
+#include "util/thread_pool.h"
+
+namespace vmtherm::serve {
+
+/// Metric handles shared by every shard of one engine (all updates are
+/// atomic; the engine registers these once at construction).
+struct ShardMetrics {
+  Counter* ingested = nullptr;       ///< events accepted into a queue
+  Counter* dropped = nullptr;        ///< events rejected (kDropNewest)
+  Counter* observe_applied = nullptr;
+  Counter* config_applied = nullptr;
+  Counter* apply_errors = nullptr;   ///< unknown host / bad event payload
+  Counter* drift_signals = nullptr;  ///< hosts whose CUSUM newly latched
+  Gauge* queue_high_water = nullptr; ///< max queue depth seen (timing)
+  Histogram* calibration_abs_error_c = nullptr;
+  Histogram* drain_batch_us = nullptr;  ///< per-chunk apply latency (timing)
+};
+
+class Shard {
+ public:
+  /// An event routed to this shard: like TelemetryEvent but addressed by
+  /// the shard-local slot the engine resolved from the host handle.
+  /// Trivially copyable on purpose — the producer-visible grouping loop
+  /// writes one of these per event, so config ownership lives out-of-band
+  /// in the run (Run::configs) and the event only carries a raw pointer.
+  struct QueuedEvent {
+    TelemetryEvent::Type type = TelemetryEvent::Type::kObserve;
+    std::uint32_t slot = 0;
+    double time_s = 0.0;
+    double measured_c = 0.0;
+    const mgmt::MonitoredConfig* config = nullptr;  ///< owned by the run
+  };
+
+  /// One ingest batch's events for this shard, queued whole. `configs`
+  /// keeps every kUpdateConfig payload alive until the run is applied
+  /// (QueuedEvent::config points into it); observes carry no ownership.
+  struct Run {
+    std::vector<QueuedEvent> events;
+    std::vector<std::shared_ptr<const mgmt::MonitoredConfig>> configs;
+  };
+
+  Shard(const core::StableTemperaturePredictor* predictor,
+        const FleetEngineOptions* options, ShardMetrics metrics);
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  // --- control plane (called by the engine) -------------------------------
+
+  /// Adds a host and begins its tracker at a fresh stable prediction.
+  /// Returns the shard-local slot.
+  std::uint32_t add_host(std::string host_id, mgmt::MonitoredConfig config,
+                         double t0, double measured_c);
+
+  /// Restores a host from a snapshot (exact tracker state, no begin()).
+  std::uint32_t import_host(const HostSnapshot& snapshot);
+
+  /// Tombstones a slot; queued events addressed to it count as apply
+  /// errors.
+  void remove_host(std::uint32_t slot);
+
+  std::size_t live_host_count() const;
+
+  // --- data plane ---------------------------------------------------------
+
+  /// Enqueues one event run (order-preserving, O(1) in the run size once
+  /// grouped — runs are queued whole, which is what keeps producer-visible
+  /// ingestion cheap). queue_capacity is an event-count watermark: under
+  /// kBlock a producer waits until the backlog is below capacity and its
+  /// entire run is then admitted (bounded overshoot of one run); under
+  /// kDropNewest the run's tail beyond the remaining space is counted in
+  /// ingest.dropped and discarded. When `pool` is non-null (auto drain) a
+  /// drain task is scheduled if none is active.
+  void enqueue_run(Run&& run, util::ThreadPool* pool);
+
+  /// Blocks until every queued event has been applied. With `drain_inline`
+  /// (manual mode) the calling thread drains the queue itself.
+  void flush(bool drain_inline);
+
+  // --- synchronous reads (state lock) -------------------------------------
+
+  double forecast(std::uint32_t slot, double gap_s) const;
+  mgmt::MonitoredConfig config_of(std::uint32_t slot) const;
+  double calibration_of(std::uint32_t slot) const;
+  bool drifted(std::uint32_t slot) const;
+
+  /// Appends one HotspotRisk per live host (unsorted; the engine merges
+  /// and sorts).
+  void append_risks(double horizon_s, double threshold_c,
+                    std::vector<mgmt::HotspotRisk>& out) const;
+
+  /// Appends one HostSnapshot per live host (unsorted).
+  void append_snapshots(std::vector<HostSnapshot>& out) const;
+
+ private:
+  struct HostState {
+    std::string host_id;
+    mgmt::MonitoredConfig config;
+    core::DynamicTemperaturePredictor tracker;
+    core::CusumDetector drift;
+    RunningStats residuals;
+    bool live = false;
+  };
+
+  /// Drains queue chunks until the queue is empty; requires the caller to
+  /// have claimed drain_active_. Clears the claim and notifies flushers
+  /// before returning. noexcept-in-effect: event errors are counted, never
+  /// thrown.
+  void drain_until_empty();
+
+  /// Applies one event under state_mutex_.
+  void apply(const QueuedEvent& event);
+
+  const core::StableTemperaturePredictor* predictor_;
+  const FleetEngineOptions* options_;
+  ShardMetrics metrics_;
+
+  mutable std::mutex state_mutex_;
+  std::vector<HostState> hosts_;  ///< indexed by slot; tombstoned when !live
+  std::size_t live_count_ = 0;
+
+  std::mutex queue_mutex_;
+  std::condition_variable space_available_;
+  std::condition_variable drained_;
+  std::deque<Run> queue_;          ///< whole runs, FIFO
+  std::size_t queued_events_ = 0;  ///< total events across queued runs
+  bool drain_active_ = false;
+};
+
+}  // namespace vmtherm::serve

@@ -56,8 +56,20 @@ inline void require(bool cond, const std::string& msg) {
   if (!cond) throw ConfigError(msg);
 }
 
+/// Literal-message overload: defers string construction to the throw site,
+/// so checks in hot loops cost a branch instead of a std::string temporary
+/// (which heap-allocates for messages past the SSO limit).
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw ConfigError(msg);
+}
+
 /// Throws DataError with `msg` unless `cond` holds.
 inline void require_data(bool cond, const std::string& msg) {
+  if (!cond) throw DataError(msg);
+}
+
+/// Literal-message overload (see require(bool, const char*)).
+inline void require_data(bool cond, const char* msg) {
   if (!cond) throw DataError(msg);
 }
 

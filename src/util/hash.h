@@ -1,0 +1,38 @@
+// vmtherm/util/hash.h
+//
+// Stable, seed-free 64-bit hashing (FNV-1a). Used where a hash must be
+// identical across processes and library versions: shard placement of
+// fleet hosts (serve/FleetEngine) and order-insensitive result digests in
+// replay reports. std::hash gives no such guarantee.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace vmtherm::util {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ull;
+
+/// FNV-1a over a byte string.
+constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = kFnv1a64Offset;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+/// Folds one 64-bit word into a running FNV-1a digest (byte by byte,
+/// little-endian), so digests of numeric streams are platform-stable.
+constexpr std::uint64_t fnv1a64_mix(std::uint64_t h, std::uint64_t word) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (word >> (8 * byte)) & 0xffull;
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+}  // namespace vmtherm::util

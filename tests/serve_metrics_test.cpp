@@ -1,0 +1,144 @@
+// Tests for serve/metrics: counters, gauges, histograms and the registry.
+
+#include "serve/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace vmtherm::serve {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.set(7);
+  EXPECT_EQ(counter.value(), 7u);
+}
+
+TEST(MetricsTest, GaugeSetAddAndMax) {
+  Gauge gauge;
+  gauge.set(5);
+  gauge.add(-8);
+  EXPECT_EQ(gauge.value(), -3);
+  gauge.update_max(10);
+  EXPECT_EQ(gauge.value(), 10);
+  gauge.update_max(4);  // lower: no change
+  EXPECT_EQ(gauge.value(), 10);
+}
+
+TEST(MetricsTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), ConfigError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), ConfigError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), ConfigError);
+}
+
+TEST(MetricsTest, HistogramBucketsAndOverflow) {
+  Histogram hist({1.0, 2.0, 4.0});
+  EXPECT_EQ(hist.bucket_count(), 4u);  // 3 finite + overflow
+  hist.record(0.5);   // bucket 0
+  hist.record(1.0);   // bucket 0 (<= upper bound)
+  hist.record(1.5);   // bucket 1
+  hist.record(3.0);   // bucket 2
+  hist.record(100.0); // overflow
+  EXPECT_EQ(hist.count_in_bucket(0), 2u);
+  EXPECT_EQ(hist.count_in_bucket(1), 1u);
+  EXPECT_EQ(hist.count_in_bucket(2), 1u);
+  EXPECT_EQ(hist.count_in_bucket(3), 1u);
+  EXPECT_EQ(hist.total_count(), 5u);
+}
+
+TEST(MetricsTest, HistogramQuantiles) {
+  Histogram hist({10.0, 20.0, 40.0});
+  EXPECT_EQ(hist.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 100; ++i) hist.record(5.0);
+  const double p50 = hist.quantile(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 10.0);
+  for (int i = 0; i < 900; ++i) hist.record(1000.0);  // overflow bucket
+  // Overflow quantiles report the last finite bound.
+  EXPECT_EQ(hist.quantile(0.99), 40.0);
+}
+
+TEST(MetricsTest, HistogramSetCountsValidatesSize) {
+  Histogram hist({1.0, 2.0});
+  EXPECT_THROW(hist.set_counts({1, 2}), ConfigError);  // needs 3
+  hist.set_counts({1, 2, 3});
+  EXPECT_EQ(hist.total_count(), 6u);
+}
+
+TEST(MetricsTest, RegistryIsIdempotent) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.histogram("h", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsTest, RegistryRejectsKindAndBoundsMismatch) {
+  MetricsRegistry registry;
+  registry.counter("c", MetricKind::kDeterministic);
+  EXPECT_THROW(registry.counter("c", MetricKind::kTiming), ConfigError);
+  registry.histogram("h", {1.0, 2.0});
+  EXPECT_THROW(registry.histogram("h", {1.0, 3.0}), ConfigError);
+  registry.gauge("g");
+  EXPECT_THROW(registry.gauge("g", MetricKind::kTiming), ConfigError);
+}
+
+TEST(MetricsTest, JsonFiltersTimingMetrics) {
+  MetricsRegistry registry;
+  registry.counter("events").add(3);
+  registry.counter("wall_clock", MetricKind::kTiming).add(99);
+  registry.histogram("lat_us", {1.0}, MetricKind::kTiming).record(0.5);
+  registry.gauge("hosts").set(2);
+
+  const std::string all = registry.to_json(/*include_timing=*/true);
+  EXPECT_NE(all.find("wall_clock"), std::string::npos);
+  EXPECT_NE(all.find("lat_us"), std::string::npos);
+
+  const std::string deterministic = registry.to_json(/*include_timing=*/false);
+  EXPECT_EQ(deterministic.find("wall_clock"), std::string::npos);
+  EXPECT_EQ(deterministic.find("lat_us"), std::string::npos);
+  EXPECT_NE(deterministic.find("\"events\":3"), std::string::npos);
+  EXPECT_NE(deterministic.find("\"hosts\":2"), std::string::npos);
+}
+
+TEST(MetricsTest, TableListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("a").add(1);
+  registry.gauge("b").set(2);
+  registry.histogram("c", {1.0}).record(0.5);
+  const Table table = registry.to_table();
+  EXPECT_EQ(table.row_count(), 3u);
+}
+
+TEST(MetricsTest, ConcurrentUpdatesAreLossless) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("n");
+  Histogram& hist = registry.histogram("h", {0.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter, &hist] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+        hist.record(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist.total_count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace vmtherm::serve
