@@ -14,12 +14,14 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVMTHERM_SANITIZE=thread \
+  -DVMTHERM_WERROR=ON \
   -DVMTHERM_BUILD_BENCH=OFF \
   -DVMTHERM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
   --target util_thread_pool_test ml_cv_test ml_grid_test cli_test \
-           serve_metrics_test serve_engine_test
+           serve_metrics_test serve_engine_test serve_snapshot_test \
+           serve_replay_test
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j 2 \
-  -R 'ThreadPool|ParallelFor|MakeFolds|CrossValidatedMse|GridSearch|RunCli|FleetEngine|MetricsTest'
+  -L concurrency

@@ -1,19 +1,20 @@
 #!/usr/bin/env sh
-# AddressSanitizer check (mirror of check_tsan.sh): configures an ASan
-# build (-DVMTHERM_SANITIZE=address) and runs the concurrent, serving and
-# malformed-input robustness suites under it. Run from the repo root:
+# UndefinedBehaviorSanitizer check (mirror of check_asan.sh): configures a
+# UBSan build (-DVMTHERM_SANITIZE=undefined) and runs the concurrent,
+# serving and malformed-input robustness suites under it. Run from the
+# repo root:
 #
-#   scripts/check_asan.sh [build-dir]
+#   scripts/check_ubsan.sh [build-dir]
 #
 # Benches and examples are skipped — only the tested paths need the
 # instrumented build.
 set -eu
 
-BUILD_DIR="${1:-build-asan}"
+BUILD_DIR="${1:-build-ubsan}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DVMTHERM_SANITIZE=address \
+  -DVMTHERM_SANITIZE=undefined \
   -DVMTHERM_WERROR=ON \
   -DVMTHERM_BUILD_BENCH=OFF \
   -DVMTHERM_BUILD_EXAMPLES=OFF
@@ -22,6 +23,6 @@ cmake --build "$BUILD_DIR" -j \
            serve_metrics_test serve_engine_test serve_snapshot_test \
            serve_replay_test robustness_corruption_test
 
-ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j 2 \
   -L 'concurrency|robustness'

@@ -48,6 +48,20 @@ long read_long(std::istream& is, const char* what) {
   return v;
 }
 
+// Sanity caps on parsed element counts: a corrupted or hostile file must
+// fail with IoError, not drive std::vector into length_error/bad_alloc.
+constexpr long kMaxDim = 1 << 16;        ///< features per vector
+constexpr long kMaxSupportVectors = 1 << 24;
+
+long read_count(std::istream& is, const char* what, long cap) {
+  const long v = read_long(is, what);
+  if (v > cap) {
+    throw IoError(std::string("model file: implausible ") + what + " (" +
+                  std::to_string(v) + " > " + std::to_string(cap) + ")");
+  }
+  return v;
+}
+
 }  // namespace
 
 void save_svr(std::ostream& os, const SvrModel& model) {
@@ -88,9 +102,10 @@ SvrModel load_svr(std::istream& is) {
   const double bias = read_double(is, "bias");
 
   expect_token(is, "dim");
-  const auto dim = static_cast<std::size_t>(read_long(is, "dim"));
+  const auto dim = static_cast<std::size_t>(read_count(is, "dim", kMaxDim));
   expect_token(is, "nsv");
-  const auto nsv = static_cast<std::size_t>(read_long(is, "nsv"));
+  const auto nsv =
+      static_cast<std::size_t>(read_count(is, "nsv", kMaxSupportVectors));
 
   std::vector<std::vector<double>> svs;
   std::vector<double> coefs;
@@ -121,7 +136,7 @@ MinMaxScaler load_scaler(std::istream& is) {
     throw IoError("scaler file: bad magic");
   }
   expect_token(is, "dim");
-  const auto dim = static_cast<std::size_t>(read_long(is, "dim"));
+  const auto dim = static_cast<std::size_t>(read_count(is, "dim", kMaxDim));
   std::vector<double> mins(dim);
   std::vector<double> maxs(dim);
   for (std::size_t j = 0; j < dim; ++j) {

@@ -77,11 +77,11 @@ HostHandle FleetEngine::register_host(const std::string& host_id,
                                       double measured_c) {
   detail::require(!host_id.empty(), "host id must be non-empty");
   detail::require(!has_whitespace(host_id),
-                  "host id must not contain whitespace: '" + host_id + "'");
+                  "host id must not contain whitespace");
   const auto shard = static_cast<std::uint32_t>(shard_of(host_id));
   std::unique_lock<std::shared_mutex> lock(routes_mutex_);
   detail::require(names_.find(host_id) == names_.end(),
-                  "host already registered: " + host_id);
+                  "host already registered");
   const std::uint32_t slot =
       shards_[shard]->add_host(host_id, std::move(config), t0, measured_c);
   const auto handle = static_cast<HostHandle>(routes_.size());
@@ -93,13 +93,12 @@ HostHandle FleetEngine::register_host(const std::string& host_id,
 
 HostHandle FleetEngine::import_host(const HostSnapshot& snapshot) {
   detail::require(!snapshot.host_id.empty(), "host id must be non-empty");
-  detail::require(
-      !has_whitespace(snapshot.host_id),
-      "host id must not contain whitespace: '" + snapshot.host_id + "'");
+  detail::require(!has_whitespace(snapshot.host_id),
+                  "host id must not contain whitespace");
   const auto shard = static_cast<std::uint32_t>(shard_of(snapshot.host_id));
   std::unique_lock<std::shared_mutex> lock(routes_mutex_);
   detail::require(names_.find(snapshot.host_id) == names_.end(),
-                  "host already registered: " + snapshot.host_id);
+                  "host already registered");
   const std::uint32_t slot = shards_[shard]->import_host(snapshot);
   const auto handle = static_cast<HostHandle>(routes_.size());
   routes_.push_back(Route{shard, slot, true});
@@ -211,7 +210,9 @@ std::vector<double> FleetEngine::forecast_batch(
     const std::vector<ForecastRequest>& requests) const {
   std::vector<double> results(requests.size(), 0.0);
   if (requests.empty()) return results;
-  const auto start = std::chrono::steady_clock::now();
+  // Timing-only metric; never observable in forecast output.
+  const auto start =
+      std::chrono::steady_clock::now();  // vmtherm-lint: allow(det-clock)
 
   // Group request (index, slot) pairs per shard, then evaluate shard
   // groups in parallel; each result lands in its pre-sized slot keyed by
@@ -238,7 +239,8 @@ std::vector<double> FleetEngine::forecast_batch(
   });
   forecasts_->add(requests.size());
 
-  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto elapsed =
+      std::chrono::steady_clock::now() - start;  // vmtherm-lint: allow(det-clock)
   forecast_batch_us_->record(
       std::chrono::duration<double, std::micro>(elapsed).count());
   return results;

@@ -144,8 +144,8 @@ class FleetEngine {
   /// the pool without mutating engine state.
   mutable util::ThreadPool pool_;
 
-  /// Guards routes_/names_: shared for the per-event hot path, exclusive
-  /// for (un)registration.
+  /// guards: routes_/names_ — shared for the per-event hot path,
+  /// exclusive for (un)registration.
   mutable std::shared_mutex routes_mutex_;
   std::vector<Route> routes_;  ///< indexed by handle
   std::unordered_map<std::string, HostHandle> names_;

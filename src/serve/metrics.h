@@ -46,6 +46,7 @@ class Counter {
   }
 
  private:
+  /// sync: relaxed — counters never order other memory.
   std::atomic<std::uint64_t> value_{0};
 };
 
@@ -65,6 +66,7 @@ class Gauge {
   }
 
  private:
+  /// sync: relaxed loads/stores; update_max uses a CAS loop, still relaxed.
   std::atomic<std::int64_t> value_{0};
 };
 
@@ -101,6 +103,7 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;
+  /// sync: relaxed per-bucket increments; totals are eventually consistent.
   std::vector<std::atomic<std::uint64_t>> counts_;
 };
 
@@ -158,7 +161,9 @@ class MetricsRegistry {
         : kind(k), histogram(std::move(bounds)) {}
   };
 
-  mutable std::mutex mutex_;  ///< guards the maps (registration/iteration)
+  /// guards: counters_/gauges_/histograms_ (registration and iteration;
+  /// metric updates go through node-stable pointers without this lock).
+  mutable std::mutex mutex_;
   std::map<std::string, CounterEntry> counters_;
   std::map<std::string, GaugeEntry> gauges_;
   std::map<std::string, HistogramEntry> histograms_;

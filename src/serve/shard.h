@@ -145,12 +145,19 @@ class Shard {
   const FleetEngineOptions* options_;
   ShardMetrics metrics_;
 
+  /// guards: hosts_/live_count_ — held per drain chunk by the drainer,
+  /// briefly by synchronous readers (forecast, snapshot).
   mutable std::mutex state_mutex_;
   std::vector<HostState> hosts_;  ///< indexed by slot; tombstoned when !live
   std::size_t live_count_ = 0;
 
+  /// guards: queue_/queued_events_/drain_active_ (producer/drainer handoff).
   std::mutex queue_mutex_;
+  /// sync: signaled under queue_mutex_ when dequeueing frees capacity
+  /// (kBlock backpressure waiters).
   std::condition_variable space_available_;
+  /// sync: signaled under queue_mutex_ when the queue empties and the
+  /// drainer retires (flush barrier).
   std::condition_variable drained_;
   std::deque<Run> queue_;          ///< whole runs, FIFO
   std::size_t queued_events_ = 0;  ///< total events across queued runs

@@ -31,6 +31,22 @@ T read_value(std::istream& is, const char* what) {
   return v;
 }
 
+/// Element-count fields cap out well above any real fleet so a corrupted
+/// count fails with IoError instead of driving a std::vector allocation
+/// into length_error/bad_alloc.
+std::size_t read_count_capped(std::istream& is, const char* what,
+                              std::size_t cap) {
+  const auto v = read_value<std::size_t>(is, what);
+  if (v > cap) {
+    throw IoError(std::string("fleet snapshot: implausible ") + what + " (" +
+                  std::to_string(v) + " > " + std::to_string(cap) + ")");
+  }
+  return v;
+}
+
+constexpr std::size_t kMaxVmsPerHost = 1u << 16;
+constexpr std::size_t kMaxHistogramBounds = 1u << 16;
+
 bool read_flag(std::istream& is, const char* what) {
   const int v = read_value<int>(is, what);
   if (v != 0 && v != 1) {
@@ -94,7 +110,7 @@ HostSnapshot load_host(std::istream& is) {
   expect(is, "env");
   host.config.env_temp_c = read_value<double>(is, "env temperature");
   expect(is, "vms");
-  const auto vm_count = read_value<std::size_t>(is, "vm count");
+  const auto vm_count = read_count_capped(is, "vm count", kMaxVmsPerHost);
   host.config.vms.reserve(vm_count);
   for (std::size_t i = 0; i < vm_count; ++i) {
     expect(is, "vm");
@@ -240,7 +256,8 @@ std::unique_ptr<FleetEngine> load_fleet(std::istream& is,
           read_value<std::uint64_t>(is, "counter value"));
     } else if (family == "hist") {
       const std::string name = read_token(is, "histogram name");
-      const auto n_bounds = read_value<std::size_t>(is, "histogram bounds");
+      const auto n_bounds =
+          read_count_capped(is, "histogram bounds", kMaxHistogramBounds);
       std::vector<double> bounds(n_bounds);
       for (double& bound : bounds) {
         bound = read_value<double>(is, "histogram bound");

@@ -277,8 +277,8 @@ INSTANTIATE_TEST_SUITE_P(
     Kernels, SvrKernelSweepTest,
     ::testing::Values(KernelKind::kLinear, KernelKind::kPolynomial,
                       KernelKind::kRbf),
-    [](const ::testing::TestParamInfo<KernelKind>& info) {
-      return kernel_kind_name(info.param);
+    [](const ::testing::TestParamInfo<KernelKind>& param_info) {
+      return kernel_kind_name(param_info.param);
     });
 
 TEST_P(SvrKernelSweepTest, BeatsMeanPredictorOnSmoothTarget) {

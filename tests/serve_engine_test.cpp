@@ -298,9 +298,12 @@ TEST(FleetEngineTest, ConcurrentProducersAndQueriesAreSafe) {
   std::vector<std::vector<HostHandle>> handles(kProducers);
   for (int p = 0; p < kProducers; ++p) {
     for (int i = 0; i < kHostsPerProducer; ++i) {
-      handles[p].push_back(engine.register_host(
-          "p" + std::to_string(p) + "-h" + std::to_string(i), busy_config(),
-          0.0, 23.0));
+      std::string host_id = "p";
+      host_id += std::to_string(p);
+      host_id += "-h";
+      host_id += std::to_string(i);
+      handles[p].push_back(
+          engine.register_host(host_id, busy_config(), 0.0, 23.0));
     }
   }
 

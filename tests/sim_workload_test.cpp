@@ -16,8 +16,8 @@ class WorkloadTypeTest : public ::testing::TestWithParam<TaskType> {};
 
 INSTANTIATE_TEST_SUITE_P(
     AllTypes, WorkloadTypeTest, ::testing::ValuesIn(all_task_types()),
-    [](const ::testing::TestParamInfo<TaskType>& info) {
-      return task_type_name(info.param);
+    [](const ::testing::TestParamInfo<TaskType>& param_info) {
+      return task_type_name(param_info.param);
     });
 
 TEST_P(WorkloadTypeTest, UtilizationStaysInUnitInterval) {

@@ -1,0 +1,29 @@
+// Fixture: concurrency-annotation checks. Linted as src/serve/fixture.h.
+// Expected: conc-guard-comment on lines 15 and 18 only — the annotated
+// members and the lock-acquisition line must not fire.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace fixture {
+
+class Annotated {
+ public:
+  void touch() {
+    // Lock *uses* never need annotations (only member declarations do).
+    std::lock_guard<std::mutex> lock(bare_mutex_);
+  }
+
+  std::atomic<int> bare_counter_{0};
+
+ private:
+  std::mutex bare_mutex_;
+
+  std::mutex ok_mutex_;  // guards: ok_value_ (registration and iteration)
+  /// sync: external — callers serialize access per DESIGN.md §6.
+  std::atomic<long> ok_counter_{0};
+  int ok_value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: determinism violations. Linted under a src/core logical path.
+// Expected: det-random-device(6), det-rand(12), det-clock(17),
+// det-getenv(22), det-locale(27).
+#include <random>
+
+std::random_device entropy;  // line 6: det-random-device
+
+namespace fixture {
+
+int roll() {
+  // line 12: det-rand
+  return rand() % 6;
+}
+
+double now_s() {
+  // line 17: det-clock
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// line 22: det-getenv
+const char* home() { return getenv("HOME"); }
+
+void set_classic_locale() {
+  // line 27: det-locale
+  std::locale::global(std::locale("C"));
+}
+
+}  // namespace fixture

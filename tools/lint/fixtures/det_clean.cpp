@@ -1,0 +1,20 @@
+// Fixture: determinism non-violations — every banned name appears only in
+// a comment or a string literal, which a naive grep would flag but the
+// token-aware linter must not. Linted under a src/core logical path.
+//
+// Mentions in this comment: rand(), srand(), std::random_device,
+// system_clock, steady_clock, getenv("PATH"), setlocale(LC_ALL, "").
+
+namespace fixture {
+
+const char* kDoc =
+    "do not call rand() or srand(); never read system_clock or "
+    "getenv or setlocale in deterministic code";
+
+const char* kRaw = R"(random_device steady_clock getenv)";
+
+// Identifiers that merely *contain* banned names must not fire either.
+int rand_count = 0;
+double steady_clock_skew_model = 0.0;
+
+}  // namespace fixture

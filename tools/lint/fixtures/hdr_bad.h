@@ -1,0 +1,12 @@
+// Fixture: header-discipline violations. Linted as src/mgmt/fixture.h.
+// Expected: hdr-pragma-once (first code line), hdr-using-namespace(8).
+#include <vector>
+
+namespace fixture {
+
+// line 8: hdr-using-namespace
+using namespace std;
+
+inline int count(const vector<int>& v) { return static_cast<int>(v.size()); }
+
+}  // namespace fixture

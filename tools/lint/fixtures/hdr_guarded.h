@@ -1,0 +1,12 @@
+// Fixture: classic include guards satisfy hdr-pragma-once (either style
+// is accepted). Linted as src/mgmt/guarded.h. Expected: clean.
+#ifndef VMTHERM_FIXTURE_HDR_GUARDED_H
+#define VMTHERM_FIXTURE_HDR_GUARDED_H
+
+namespace fixture {
+
+inline int answer() { return 42; }
+
+}  // namespace fixture
+
+#endif  // VMTHERM_FIXTURE_HDR_GUARDED_H

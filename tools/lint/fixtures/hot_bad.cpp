@@ -1,0 +1,27 @@
+// Fixture: hot-path violations. Linted as src/serve/engine.cpp (a
+// designated hot-path file). Expected: hot-iostream(5, 14),
+// hot-string(9, 19), hot-require-string(24).
+#include <iostream>
+#include <string>
+
+namespace fixture {
+
+std::string label(int id) { return "host-" + std::to_string(id); }
+
+void log_host(const std::string& id) {
+  // line 14: hot-iostream (cout)
+  std::cout << id << std::endl;
+}
+
+void build(const std::string& id) {
+  // line 19: hot-string (temporary construction)
+  auto copy = std::string(id);
+  (void)copy;
+}
+
+void check(bool ok, const std::string& id) {
+  // line 24: hot-require-string (concatenation inside require args)
+  require(ok, "bad host: " + id);
+}
+
+}  // namespace fixture

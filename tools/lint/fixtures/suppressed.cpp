@@ -1,0 +1,20 @@
+// Fixture: suppression handling. Linted under a src/core logical path.
+// Expected: NO determinism violations (both sites are suppressed), but one
+// lint-bad-suppression for the clause naming a rule that does not exist.
+
+namespace fixture {
+
+double timing_probe() {
+  // Same-line suppression (must sit on the violating token's line).
+  const auto now =
+      std::chrono::steady_clock::now();  // vmtherm-lint: allow(det-clock)
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+// vmtherm-lint: allow(det-rand)
+int seeded_roll() { return rand() % 6; }
+
+// vmtherm-lint: allow(no-such-rule)
+int stray = 0;
+
+}  // namespace fixture

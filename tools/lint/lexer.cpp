@@ -1,0 +1,213 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace vmtherm::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  LexedFile run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        in_pp_ = in_pp_ && pending_splice_;
+        pending_splice_ = false;
+        ++pos_;
+        continue;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        // Line continuation: a `#define`/`#include` logically continues.
+        pending_splice_ = true;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+        ++pos_;
+        continue;
+      }
+      pending_splice_ = false;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+      } else if (c == '"') {
+        lex_string(pos_);
+      } else if (c == '\'') {
+        lex_char();
+      } else if (c == 'R' && peek(1) == '"') {
+        lex_raw_string();
+      } else if (is_ident_start(c)) {
+        lex_identifier();
+      } else if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        lex_number();
+      } else {
+        lex_punct();
+      }
+    }
+    LexedFile out;
+    out.tokens = std::move(tokens_);
+    out.line_count = line_;
+    return out;
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(TokenKind kind, std::size_t begin, std::size_t end,
+            int start_line) {
+    Token token;
+    token.kind = kind;
+    token.text = src_.substr(begin, end - begin);
+    token.line = start_line;
+    token.in_pp_directive = in_pp_;
+    tokens_.push_back(std::move(token));
+  }
+
+  void lex_line_comment() {
+    const std::size_t begin = pos_;
+    const int start_line = line_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    emit(TokenKind::kComment, begin, pos_, start_line);
+  }
+
+  void lex_block_comment() {
+    const std::size_t begin = pos_;
+    const int start_line = line_;
+    pos_ += 2;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) pos_ += 2;  // consume `*/`
+    emit(TokenKind::kComment, begin, pos_, start_line);
+  }
+
+  void lex_string(std::size_t begin) {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    emit(TokenKind::kString, begin, pos_, start_line);
+  }
+
+  void lex_char() {
+    const std::size_t begin = pos_;
+    const int start_line = line_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    emit(TokenKind::kCharLit, begin, pos_, start_line);
+  }
+
+  void lex_raw_string() {
+    const std::size_t begin = pos_;
+    const int start_line = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim.push_back(src_[pos_]);
+      ++pos_;
+    }
+    const std::string close = ")" + delim + "\"";
+    const std::size_t end = src_.find(close, pos_);
+    if (end == std::string::npos) {
+      for (std::size_t i = pos_; i < src_.size(); ++i) {
+        if (src_[i] == '\n') ++line_;
+      }
+      pos_ = src_.size();
+    } else {
+      for (std::size_t i = pos_; i < end; ++i) {
+        if (src_[i] == '\n') ++line_;
+      }
+      pos_ = end + close.size();
+    }
+    emit(TokenKind::kString, begin, pos_, start_line);
+  }
+
+  void lex_identifier() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    emit(TokenKind::kIdentifier, begin, pos_, line_);
+  }
+
+  void lex_number() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        // Exponent sign: 1.0e-5 / 0x1p+3 keep the sign inside the number.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek(1) == '+' || peek(1) == '-')) {
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    emit(TokenKind::kNumber, begin, pos_, line_);
+  }
+
+  void lex_punct() {
+    const std::size_t begin = pos_;
+    const char c = src_[pos_];
+    if (c == '#' && tokens_line_empty()) in_pp_ = true;
+    if (c == ':' && peek(1) == ':') {
+      pos_ += 2;  // merge `::` so rules can match qualified names
+    } else {
+      ++pos_;
+    }
+    emit(TokenKind::kPunct, begin, pos_, line_);
+  }
+
+  /// True when no token has been emitted yet on the current line — a `#`
+  /// here starts a preprocessor directive.
+  bool tokens_line_empty() const {
+    for (auto it = tokens_.rbegin(); it != tokens_.rend(); ++it) {
+      if (it->kind == TokenKind::kComment) continue;  // comments may precede
+      return it->line != line_;
+    }
+    return true;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool in_pp_ = false;
+  bool pending_splice_ = false;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace vmtherm::lint

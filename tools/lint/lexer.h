@@ -1,0 +1,50 @@
+// vmtherm/tools/lint/lexer.h
+//
+// Minimal C++ lexer for vmtherm-lint. Splits a translation unit into
+// tokens that are *comment- and string-literal-aware*: rule checks walk
+// identifiers/punctuation without ever matching text that only appears in
+// a comment, a string literal (including raw strings) or a char literal,
+// while suppression and annotation scans read exactly the comment tokens.
+//
+// This is not a full C++ lexer — it does not splice universal-character
+// names or distinguish keywords from identifiers — but it understands
+// everything the rule catalog needs: line comments, block comments,
+// escaped string/char literals, raw string literals R"tag(...)tag",
+// numbers (including 1.0e-5 and hex), multi-char punctuation (`::`), and
+// preprocessor directives (tokens on a `#...` line are marked, with
+// backslash line continuations honored).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vmtherm::lint {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,   ///< text is the literal including quotes
+  kCharLit,
+  kPunct,    ///< one of the operator/punctuator spellings (":: " merged)
+  kComment,  ///< text includes the // or /* */ delimiters
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;            ///< 1-based line of the token's first character
+  bool in_pp_directive = false;  ///< on a `#...` preprocessor line
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  int line_count = 0;
+};
+
+/// Tokenizes `source`. Never throws on malformed input: an unterminated
+/// literal or comment simply consumes the rest of the file as one token,
+/// which keeps the linter robust on fixture files built to be broken.
+LexedFile lex(const std::string& source);
+
+}  // namespace vmtherm::lint

@@ -1,0 +1,154 @@
+// vmtherm-lint — project-specific static analysis for vmtherm.
+//
+// Enforces the invariant catalog of DESIGN.md §8 (determinism, hot-path
+// hygiene, header discipline, concurrency annotations) over the repo's
+// sources. Tokenizes every file (comment/string aware), so banned names in
+// comments or string literals never fire, and honors per-line suppression
+// comments of the form `vmtherm-lint: allow(det-clock)`.
+//
+// Usage:
+//   vmtherm-lint [--root DIR] [--json PATH] [--list-rules] [files...]
+//
+// With no explicit files, scans DIR/src and DIR/tools (skipping lint
+// fixture directories, which contain violations on purpose). Exit status:
+// 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/report.h"
+#include "lint/rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_source_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string to_logical(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty()) rel = path;
+  return rel.generic_string();
+}
+
+/// Collects every lintable source under root/src and root/tools, sorted by
+/// logical path so diagnostics and the JSON report are byte-deterministic.
+std::vector<fs::path> collect_sources(const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const char* subdir : {"src", "tools"}) {
+    const fs::path base = root / subdir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      if (!has_source_extension(entry.path())) continue;
+      const std::string generic = entry.path().generic_string();
+      if (generic.find("/fixtures/") != std::string::npos) continue;
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [&root](const fs::path& a, const fs::path& b) {
+              return to_logical(a, root) < to_logical(b, root);
+            });
+  return files;
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int usage(std::ostream& os, int code) {
+  os << "usage: vmtherm-lint [--root DIR] [--json PATH] [--list-rules] "
+        "[files...]\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string json_path;
+  bool list_rules = false;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      root = argv[++i];
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      json_path = argv[++i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "vmtherm-lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    std::cout << "vmtherm-lint rule catalog v" << vmtherm::lint::kCatalogVersion
+              << "\n";
+    for (const auto& rule : vmtherm::lint::rule_catalog()) {
+      std::cout << "  " << rule.id << " (" << rule.category << "): "
+                << rule.summary << "\n";
+    }
+    return 0;
+  }
+
+  std::vector<fs::path> files;
+  if (explicit_files.empty()) {
+    files = collect_sources(root);
+  } else {
+    for (const std::string& f : explicit_files) files.emplace_back(f);
+  }
+
+  std::vector<vmtherm::lint::Violation> violations;
+  for (const fs::path& path : files) {
+    std::string source;
+    if (!read_file(path, source)) {
+      std::cerr << "vmtherm-lint: cannot read '" << path.string() << "'\n";
+      return 2;
+    }
+    const std::string logical = to_logical(path, root);
+    for (auto& v : vmtherm::lint::lint_source(logical, source)) {
+      violations.push_back(std::move(v));
+    }
+  }
+
+  for (const auto& violation : violations) {
+    std::cout << vmtherm::lint::format_diagnostic(violation) << "\n";
+  }
+  std::cout << "vmtherm-lint: " << violations.size() << " violation(s) in "
+            << files.size() << " file(s) scanned (catalog v"
+            << vmtherm::lint::kCatalogVersion << ")\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "vmtherm-lint: cannot write '" << json_path << "'\n";
+      return 2;
+    }
+    out << vmtherm::lint::to_json(violations, files.size());
+  }
+  return violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+#include "lint/report.h"
+
+namespace vmtherm::lint {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xF]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string format_diagnostic(const Violation& violation) {
+  return violation.file + ":" + std::to_string(violation.line) + ": [" +
+         violation.rule + "] " + violation.message;
+}
+
+std::string to_json(const std::vector<Violation>& violations,
+                    std::size_t files_scanned) {
+  std::string out;
+  out += "{\n";
+  out += "  \"tool\": \"vmtherm-lint\",\n";
+  out += "  \"catalog_version\": " + std::to_string(kCatalogVersion) + ",\n";
+  out += "  \"files_scanned\": " + std::to_string(files_scanned) + ",\n";
+  out +=
+      "  \"violation_count\": " + std::to_string(violations.size()) + ",\n";
+  out += "  \"rules\": [\n";
+  const std::vector<Rule>& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out += "    {\"id\": ";
+    append_escaped(out, catalog[i].id);
+    out += ", \"category\": ";
+    append_escaped(out, catalog[i].category);
+    out += ", \"summary\": ";
+    append_escaped(out, catalog[i].summary);
+    out += i + 1 < catalog.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n";
+  out += "  \"violations\": [\n";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    out += "    {\"file\": ";
+    append_escaped(out, violations[i].file);
+    out += ", \"line\": " + std::to_string(violations[i].line);
+    out += ", \"rule\": ";
+    append_escaped(out, violations[i].rule);
+    out += ", \"message\": ";
+    append_escaped(out, violations[i].message);
+    out += i + 1 < violations.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace vmtherm::lint

@@ -1,0 +1,29 @@
+// vmtherm/tools/lint/report.h
+//
+// Diagnostic rendering for vmtherm-lint: GCC-style one-line diagnostics
+// (`file:line: [rule] message`) for humans/editors, and a machine-readable
+// JSON report (catalog version, rule list, violations, scan summary) for
+// tooling. JSON output is byte-deterministic: violations are emitted in
+// their sorted order and contain no timestamps.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace vmtherm::lint {
+
+/// `file:line: [rule] message` (no trailing newline).
+std::string format_diagnostic(const Violation& violation);
+
+/// JSON object:
+///   {"tool": "vmtherm-lint", "catalog_version": 1,
+///    "files_scanned": N, "violation_count": M,
+///    "rules": [{"id": ..., "category": ..., "summary": ...}, ...],
+///    "violations": [{"file": ..., "line": L, "rule": ..., "message": ...}]}
+std::string to_json(const std::vector<Violation>& violations,
+                    std::size_t files_scanned);
+
+}  // namespace vmtherm::lint
