@@ -81,7 +81,7 @@ int main() {
       params.c = 32.0;
     }
     kernel_table.add_row(
-        {ml::kernel_kind_name(kind),
+        {std::string(ml::kernel_kind_name(kind)),
          Table::num(subset_mse(train_records, test_records, {}, params), 3)});
   }
   kernel_table.print(std::cout, 2);

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -110,6 +111,8 @@ struct EngineResult {
   double end_to_end_events_per_sec = 0.0;
   double forecast_p50_us = 0.0;
   double forecast_p99_us = 0.0;
+  std::uint64_t psi_cache_hits = 0;    ///< ψ_stable memoization traffic
+  std::uint64_t psi_cache_misses = 0;  ///< (final trial's engine)
 };
 
 double latency_quantile(std::vector<double> sorted_us, double q) {
@@ -149,6 +152,8 @@ EngineResult bench_engine(const vmtherm::core::StableTemperaturePredictor& predi
 
   double best_ingest_s = 0.0;
   double best_apply_s = 0.0;
+  std::uint64_t result_hits = 0;
+  std::uint64_t result_misses = 0;
   std::vector<double> latencies_us;
   latencies_us.reserve(args.repeats);
 
@@ -176,6 +181,13 @@ EngineResult bench_engine(const vmtherm::core::StableTemperaturePredictor& predi
     if (trial == 0 || apply_s < best_apply_s) best_apply_s = apply_s;
 
     if (trial + 1 == args.trials) {
+      result_hits = engine.metrics()
+                        .counter("psi_cache.hits", serve::MetricKind::kTiming)
+                        .value();
+      result_misses =
+          engine.metrics()
+              .counter("psi_cache.misses", serve::MetricKind::kTiming)
+              .value();
       std::vector<serve::ForecastRequest> requests;
       requests.reserve(args.hosts);
       for (const serve::HostHandle h : handles) {
@@ -198,6 +210,8 @@ EngineResult bench_engine(const vmtherm::core::StableTemperaturePredictor& predi
       total_events / (best_ingest_s + best_apply_s);
   result.forecast_p50_us = latency_quantile(latencies_us, 0.5);
   result.forecast_p99_us = latency_quantile(latencies_us, 0.99);
+  result.psi_cache_hits = result_hits;
+  result.psi_cache_misses = result_misses;
   return result;
 }
 
@@ -255,9 +269,10 @@ int main(int argc, char** argv) {
   }
 
   vmtherm::Table table({"configuration", "ingest_ev_s", "apply_ev_s",
-                        "speedup_vs_monitor", "fc_p50_us", "fc_p99_us"});
+                        "speedup_vs_monitor", "fc_p50_us", "fc_p99_us",
+                        "psi_hit", "psi_miss"});
   table.add_row({"monitor (serial)", vmtherm::Table::num(monitor_eps, 0), "-",
-                 "1.00", "-", "-"});
+                 "1.00", "-", "-", "-", "-"});
   for (const EngineResult& r : results) {
     table.add_row({"engine x" + std::to_string(r.shards),
                    vmtherm::Table::num(r.ingest_events_per_sec, 0),
@@ -265,7 +280,11 @@ int main(int argc, char** argv) {
                    vmtherm::Table::num(
                        r.ingest_events_per_sec / monitor_eps, 2),
                    vmtherm::Table::num(r.forecast_p50_us, 1),
-                   vmtherm::Table::num(r.forecast_p99_us, 1)});
+                   vmtherm::Table::num(r.forecast_p99_us, 1),
+                   vmtherm::Table::num(
+                       static_cast<long long>(r.psi_cache_hits)),
+                   vmtherm::Table::num(
+                       static_cast<long long>(r.psi_cache_misses))});
   }
   table.print(std::cout);
 
@@ -288,7 +307,9 @@ int main(int argc, char** argv) {
          << ",\"end_to_end_events_per_sec\":" << r.end_to_end_events_per_sec
          << ",\"speedup_vs_monitor\":" << r.ingest_events_per_sec / monitor_eps
          << ",\"forecast_p50_us\":" << r.forecast_p50_us
-         << ",\"forecast_p99_us\":" << r.forecast_p99_us << "}";
+         << ",\"forecast_p99_us\":" << r.forecast_p99_us
+         << ",\"psi_cache_hits\":" << r.psi_cache_hits
+         << ",\"psi_cache_misses\":" << r.psi_cache_misses << "}";
   }
   json << "]}\n";
   std::cout << "wrote " << args.out << "\n";

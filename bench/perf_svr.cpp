@@ -12,6 +12,7 @@
 #include "ml/grid.h"
 #include "ml/svr.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -65,6 +66,67 @@ void BM_SvrPredict(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SvrPredict)->Arg(128)->Arg(512);
+
+void BM_SvrPredictBatch(benchmark::State& state) {
+  // Batched inference over the packed engine; items/sec here divided by
+  // BM_SvrPredict's rate is the batching win at equal support size.
+  const auto data = synthetic_data(static_cast<std::size_t>(state.range(0)),
+                                   16, 2);
+  const auto model = ml::SvrModel::train(data, rbf_params());
+  constexpr std::size_t kQueries = 1024;
+  Rng rng(9);
+  std::vector<double> queries(kQueries * 16);
+  for (double& q : queries) q = rng.uniform(-1.0, 1.0);
+  std::vector<double> out(kQueries);
+  for (auto _ : state) {
+    model.predict_batch(queries, kQueries, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kQueries);
+}
+BENCHMARK(BM_SvrPredictBatch)->Arg(128)->Arg(512);
+
+void BM_SvrPredictBatchThreaded(benchmark::State& state) {
+  // predict_batch sharded over a pool; bitwise-identical results to the
+  // single-thread run by the engine's determinism contract.
+  const auto data = synthetic_data(512, 16, 2);
+  const auto model = ml::SvrModel::train(data, rbf_params());
+  constexpr std::size_t kQueries = 4096;
+  Rng rng(10);
+  std::vector<double> queries(kQueries * 16);
+  for (double& q : queries) q = rng.uniform(-1.0, 1.0);
+  std::vector<double> out(kQueries);
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    model.predict_batch(queries, kQueries, out, &pool);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kQueries);
+}
+BENCHMARK(BM_SvrPredictBatchThreaded)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_ExpDet(benchmark::State& state) {
+  // Deterministic exp vs libm: the transform at the heart of the RBF row.
+  Rng rng(11);
+  std::vector<double> xs(1024);
+  for (double& v : xs) v = rng.uniform(-30.0, 0.0);
+  std::vector<double> out(1024);
+  const bool use_det = state.range(0) == 1;
+  for (auto _ : state) {
+    if (use_det) {
+      for (std::size_t i = 0; i < xs.size(); ++i) out[i] = ml::exp_det(xs[i]);
+    } else {
+      for (std::size_t i = 0; i < xs.size(); ++i) out[i] = std::exp(xs[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(use_det ? "exp_det" : "std::exp");
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_ExpDet)->Arg(0)->Arg(1);
 
 void BM_KernelEvalRbf(benchmark::State& state) {
   Rng rng(3);

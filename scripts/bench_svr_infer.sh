@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# SVR inference bench: configures a Release build, builds perf_svr_infer
+# and writes BENCH_svr_infer.json (batched-vs-scalar speedup per kernel,
+# RBF thread-scaling sweep) to the repo root. Run from the repo root:
+#
+#   scripts/bench_svr_infer.sh [build-dir] [-- perf_svr_infer args...]
+set -eu
+
+BUILD_DIR="${1:-build-release}"
+[ $# -gt 0 ] && shift
+[ "${1:-}" = "--" ] && shift
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target perf_svr_infer
+
+"$BUILD_DIR"/bench/perf_svr_infer --out BENCH_svr_infer.json "$@"

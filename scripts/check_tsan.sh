@@ -18,8 +18,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DVMTHERM_BUILD_BENCH=OFF \
   -DVMTHERM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
-  --target util_thread_pool_test ml_cv_test ml_grid_test cli_test \
-           serve_metrics_test serve_engine_test serve_snapshot_test \
+  --target util_thread_pool_test ml_cv_test ml_grid_test ml_svr_inference_test cli_test \
+           serve_metrics_test serve_engine_test serve_snapshot_test serve_psi_cache_test \
            serve_replay_test
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \

@@ -46,6 +46,12 @@ Record make_record_inputs(const sim::ServerSpec& server,
 
 std::vector<double> to_feature_vector(const Record& record) {
   std::vector<double> x;
+  encode_features(record, x);
+  return x;
+}
+
+void encode_features(const Record& record, std::vector<double>& x) {
+  x.clear();
   x.reserve(kRecordFeatureCount);
   x.push_back(record.cpu_capacity_ghz);
   x.push_back(record.physical_cores);
@@ -68,7 +74,6 @@ std::vector<double> to_feature_vector(const Record& record) {
           : 0.0;
   x.push_back(expected_util);
   for (double share : record.vm.task_share) x.push_back(share);
-  return x;
 }
 
 const std::vector<std::string>& feature_names() {

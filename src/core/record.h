@@ -60,6 +60,10 @@ inline constexpr std::size_t kRecordFeatureCount = 13 + sim::kTaskTypeCount;
 /// Feature-vector encoding (order matches feature_names()).
 std::vector<double> to_feature_vector(const Record& record);
 
+/// Allocation-free variant for hot paths: encodes into `out`, reusing its
+/// capacity (`out` is cleared first). Same order as to_feature_vector().
+void encode_features(const Record& record, std::vector<double>& out);
+
 /// Human-readable names, aligned with to_feature_vector().
 const std::vector<std::string>& feature_names();
 

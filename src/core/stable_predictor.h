@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,13 @@ struct StableTrainReport {
   std::size_t training_records = 0;
 };
 
+/// Reusable buffers for the allocation-free predict overloads. One scratch
+/// per caller (it is NOT thread-safe); buffers grow once and are reused.
+struct StablePredictScratch {
+  std::vector<double> features;  ///< raw Eq. (2) encoding
+  std::vector<double> scaled;    ///< min-max scaled copy fed to the SVR
+};
+
 /// A trained stable-temperature predictor.
 class StableTemperaturePredictor {
  public:
@@ -55,6 +63,17 @@ class StableTemperaturePredictor {
   double predict(const sim::ServerSpec& server,
                  const std::vector<sim::VmConfig>& vms, int active_fans,
                  double env_temp_c) const;
+
+  /// Allocation-free variant for hot paths (serve): encodes and scales
+  /// into `scratch`, leaving the raw encoding in scratch.features —
+  /// callers key ψ_stable memoization on exactly those bits.
+  double predict(const Record& record, StablePredictScratch& scratch) const;
+
+  /// Predicts from an already-encoded raw (unscaled) feature vector,
+  /// scaling into `scaled`. Bitwise-identical to predict() on the record
+  /// that produced `features`.
+  double predict_from_features(std::span<const double> features,
+                               std::vector<double>& scaled) const;
 
   /// Persists scaler + SVR into one directory-less two-section text file.
   void save(const std::string& path) const;

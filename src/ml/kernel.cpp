@@ -1,10 +1,11 @@
 #include "ml/kernel.h"
 
 #include <cmath>
+#include <string>
 
 namespace vmtherm::ml {
 
-std::string kernel_kind_name(KernelKind kind) {
+std::string_view kernel_kind_name(KernelKind kind) noexcept {
   switch (kind) {
     case KernelKind::kLinear: return "linear";
     case KernelKind::kPolynomial: return "polynomial";
@@ -14,12 +15,28 @@ std::string kernel_kind_name(KernelKind kind) {
   return "unknown";
 }
 
-KernelKind kernel_kind_from_name(const std::string& name) {
+KernelKind kernel_kind_from_name(std::string_view name) {
   if (name == "linear") return KernelKind::kLinear;
   if (name == "polynomial") return KernelKind::kPolynomial;
   if (name == "rbf") return KernelKind::kRbf;
   if (name == "sigmoid") return KernelKind::kSigmoid;
-  throw ConfigError("unknown kernel name: " + name);
+  throw ConfigError(std::string("unknown kernel name: ").append(name));
+}
+
+double pow_integer(double base, int exponent) noexcept {
+  const bool negative = exponent < 0;
+  // Magnitude via long long so INT_MIN does not overflow on negation.
+  auto e = static_cast<unsigned long long>(
+      negative ? -static_cast<long long>(exponent)
+               : static_cast<long long>(exponent));
+  double result = 1.0;
+  double square = base;
+  while (e != 0) {
+    if ((e & 1u) != 0) result *= square;
+    e >>= 1;
+    if (e != 0) square *= square;
+  }
+  return negative ? 1.0 / result : result;
 }
 
 double dot(std::span<const double> x, std::span<const double> z) noexcept {
@@ -44,7 +61,8 @@ double kernel_eval(const KernelParams& params, std::span<const double> x,
     case KernelKind::kLinear:
       return dot(x, z);
     case KernelKind::kPolynomial:
-      return std::pow(params.gamma * dot(x, z) + params.coef0, params.degree);
+      return pow_integer(params.gamma * dot(x, z) + params.coef0,
+                         params.degree);
     case KernelKind::kRbf:
       return std::exp(-params.gamma * squared_distance(x, z));
     case KernelKind::kSigmoid:

@@ -6,7 +6,7 @@
 #pragma once
 
 #include <span>
-#include <string>
+#include <string_view>
 
 #include "util/error.h"
 
@@ -19,8 +19,11 @@ enum class KernelKind {
   kSigmoid,     ///< tanh(gamma * x.z + coef0)
 };
 
-std::string kernel_kind_name(KernelKind kind);
-KernelKind kernel_kind_from_name(const std::string& name);
+/// Returns a view of a static name literal (no allocation).
+std::string_view kernel_kind_name(KernelKind kind) noexcept;
+/// Looks a kernel up by name without materializing a std::string; throws
+/// ConfigError on unknown names.
+KernelKind kernel_kind_from_name(std::string_view name);
 
 /// Kernel hyper-parameters (interpretation depends on kind; matches
 /// LIBSVM's -g/-d/-r flags).
@@ -48,5 +51,10 @@ double squared_distance(std::span<const double> x,
 
 /// Dot product.
 double dot(std::span<const double> x, std::span<const double> z) noexcept;
+
+/// base^exponent by exponentiation-by-squaring — O(log n) multiplies
+/// instead of a transcendental std::pow call for the polynomial kernel's
+/// integer degree. Negative exponents go through the reciprocal.
+double pow_integer(double base, int exponent) noexcept;
 
 }  // namespace vmtherm::ml

@@ -71,12 +71,14 @@ void save_svr(std::ostream& os, const SvrModel& model) {
   os << "kernel " << kernel_kind_name(k.kind) << " gamma " << k.gamma
      << " degree " << k.degree << " coef0 " << k.coef0 << '\n';
   os << "bias " << model.bias() << '\n';
-  const std::size_t dim =
-      model.support_vectors().empty() ? 0 : model.support_vectors()[0].size();
-  os << "dim " << dim << " nsv " << model.support_vector_count() << '\n';
-  for (std::size_t i = 0; i < model.support_vector_count(); ++i) {
-    os << model.coefficients()[i];
-    for (double v : model.support_vectors()[i]) os << ' ' << v;
+  // Serialized straight from the packed row-major matrix; row k of the
+  // engine is support vector k, so the on-disk format is unchanged.
+  const SvrInference& inference = model.inference();
+  os << "dim " << inference.dim() << " nsv " << inference.support_vector_count()
+     << '\n';
+  for (std::size_t i = 0; i < inference.support_vector_count(); ++i) {
+    os << inference.coefficients()[i];
+    for (double v : inference.support_vector(i)) os << ' ' << v;
     os << '\n';
   }
 }

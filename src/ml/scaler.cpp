@@ -32,14 +32,20 @@ MinMaxScaler::MinMaxScaler(std::vector<double> mins, std::vector<double> maxs)
 }
 
 std::vector<double> MinMaxScaler::transform(std::span<const double> x) const {
+  std::vector<double> out;
+  transform_into(x, out);
+  return out;
+}
+
+void MinMaxScaler::transform_into(std::span<const double> x,
+                                  std::vector<double>& out) const {
   detail::require_data(x.size() == mins_.size(),
                        "scaler input dimension mismatch");
-  std::vector<double> out(x.size());
+  out.resize(x.size());
   for (std::size_t j = 0; j < x.size(); ++j) {
     const double span = maxs_[j] - mins_[j];
     out[j] = span > 0.0 ? -1.0 + 2.0 * (x[j] - mins_[j]) / span : 0.0;
   }
-  return out;
 }
 
 Dataset MinMaxScaler::transform(const Dataset& data) const {

@@ -375,33 +375,41 @@ SvrModel::SvrModel(KernelParams kernel,
     : kernel_(kernel),
       support_vectors_(std::move(support_vectors)),
       coefficients_(std::move(coefficients)),
-      bias_(bias) {
-  kernel_.validate();
-  detail::require(support_vectors_.size() == coefficients_.size(),
-                  "svr model: sv/coef count mismatch");
-  for (const auto& sv : support_vectors_) {
-    detail::require(sv.size() == support_vectors_.front().size(),
-                    "svr model: inconsistent sv dimensions");
-  }
-}
+      bias_(bias),
+      // Validates the kernel, the sv/coef alignment and the row
+      // dimensions, and packs the evaluator in one pass.
+      inference_(kernel_, support_vectors_, coefficients_, bias_) {}
 
 double SvrModel::predict(std::span<const double> x) const {
-  if (!support_vectors_.empty()) {
-    detail::require_data(x.size() == support_vectors_.front().size(),
-                         "svr predict dimension mismatch");
-  }
-  double acc = bias_;
-  for (std::size_t k = 0; k < support_vectors_.size(); ++k) {
-    acc += coefficients_[k] * kernel_eval(kernel_, support_vectors_[k], x);
-  }
-  return acc;
+  return inference_.predict(x);
 }
 
 std::vector<double> SvrModel::predict(const Dataset& data) const {
-  std::vector<double> out;
-  out.reserve(data.size());
-  for (const auto& s : data.samples()) out.push_back(predict(s.x));
+  return predict_batch(data, nullptr);
+}
+
+std::vector<double> SvrModel::predict_batch(const Dataset& data,
+                                            util::ThreadPool* pool) const {
+  std::vector<double> out(data.size());
+  if (inference_.support_vector_count() == 0) {
+    std::fill(out.begin(), out.end(), bias_);
+    return out;
+  }
+  const std::size_t dim = inference_.dim();
+  std::vector<double> flat;
+  flat.reserve(data.size() * dim);
+  for (const auto& s : data.samples()) {
+    detail::require_data(s.x.size() == dim, "svr predict dimension mismatch");
+    flat.insert(flat.end(), s.x.begin(), s.x.end());
+  }
+  inference_.predict_batch(flat, data.size(), out, pool);
   return out;
+}
+
+void SvrModel::predict_batch(std::span<const double> queries,
+                             std::size_t query_count, std::span<double> out,
+                             util::ThreadPool* pool) const {
+  inference_.predict_batch(queries, query_count, out, pool);
 }
 
 }  // namespace vmtherm::ml

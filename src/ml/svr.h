@@ -24,6 +24,7 @@
 
 #include "ml/dataset.h"
 #include "ml/kernel.h"
+#include "ml/svr_inference.h"
 
 namespace vmtherm::ml {
 
@@ -76,10 +77,24 @@ class SvrModel {
            std::vector<double> coefficients, double bias);
 
   /// f(x) = Σ β_k K(sv_k, x) + b. Throws DataError on dimension mismatch.
+  /// Evaluated by the packed SvrInference engine (see svr_inference.h for
+  /// the bitwise-determinism contract).
   double predict(std::span<const double> x) const;
 
-  /// Batch prediction over a dataset's features.
+  /// Batch prediction over a dataset's features — routed through the
+  /// packed engine; bitwise-identical to calling predict() per sample.
   std::vector<double> predict(const Dataset& data) const;
+
+  /// Batch prediction over a dataset, optionally sharded across `pool`
+  /// (bitwise-identical at any thread count).
+  std::vector<double> predict_batch(const Dataset& data,
+                                    util::ThreadPool* pool = nullptr) const;
+
+  /// Batched prediction over `query_count` queries packed row-major into
+  /// `queries`; see SvrInference::predict_batch.
+  void predict_batch(std::span<const double> queries, std::size_t query_count,
+                     std::span<double> out,
+                     util::ThreadPool* pool = nullptr) const;
 
   std::size_t support_vector_count() const noexcept {
     return support_vectors_.size();
@@ -92,12 +107,15 @@ class SvrModel {
   }
   double bias() const noexcept { return bias_; }
   const KernelParams& kernel() const noexcept { return kernel_; }
+  /// The packed inference engine that evaluates this model.
+  const SvrInference& inference() const noexcept { return inference_; }
 
  private:
   KernelParams kernel_;
   std::vector<std::vector<double>> support_vectors_;
   std::vector<double> coefficients_;  ///< β_k, aligned with support_vectors_
   double bias_ = 0.0;
+  SvrInference inference_;  ///< packed evaluator; built last from the above
 };
 
 }  // namespace vmtherm::ml

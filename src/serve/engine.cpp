@@ -43,6 +43,13 @@ FleetEngine::FleetEngine(core::StableTemperaturePredictor predictor,
   shard_metrics_.drift_signals = &metrics_.counter("drift.signals");
   shard_metrics_.queue_high_water =
       &metrics_.gauge("queue.high_water", MetricKind::kTiming);
+  // Timing-class on purpose: per-shard caching makes the hit/miss split a
+  // function of host->shard placement, so the counts legitimately differ
+  // across shard topologies while every forecast stays bitwise-identical.
+  shard_metrics_.psi_cache_hits =
+      &metrics_.counter("psi_cache.hits", MetricKind::kTiming);
+  shard_metrics_.psi_cache_misses =
+      &metrics_.counter("psi_cache.misses", MetricKind::kTiming);
   shard_metrics_.calibration_abs_error_c =
       &metrics_.histogram("calibration.abs_error_c", calibration_bounds_c());
   shard_metrics_.drain_batch_us = &metrics_.histogram(

@@ -113,6 +113,11 @@ struct FleetEngineOptions {
   /// core/drift.h; defaults match core::OnlineTrainerOptions).
   double drift_slack_c = 0.5;
   double drift_threshold_c = 8.0;
+  /// Per-shard ψ_stable memoization budget (entries): identical running
+  /// conditions (server config, VM set, fans, env) reuse the cached SVR
+  /// prediction instead of re-evaluating the kernel expansion. 0 disables
+  /// memoization (see serve/psi_cache.h for the keying discipline).
+  std::size_t psi_cache_capacity = 4096;
 
   void validate() const {
     detail::require(shards >= 1, "fleet engine needs at least one shard");

@@ -16,15 +16,34 @@ constexpr std::size_t kDrainChunk = 256;
 
 Shard::Shard(const core::StableTemperaturePredictor* predictor,
              const FleetEngineOptions* options, ShardMetrics metrics)
-    : predictor_(predictor), options_(options), metrics_(metrics) {}
+    : predictor_(predictor),
+      options_(options),
+      metrics_(metrics),
+      psi_cache_(options->psi_cache_capacity) {}
+
+double Shard::psi_stable(const mgmt::MonitoredConfig& config) {
+  core::encode_features(core::make_record_inputs(config.server, config.vms,
+                                                 config.fans,
+                                                 config.env_temp_c),
+                        psi_scratch_.features);
+  if (const double* hit = psi_cache_.find(psi_scratch_.features)) {
+    metrics_.psi_cache_hits->add(1);
+    return *hit;
+  }
+  metrics_.psi_cache_misses->add(1);
+  const double psi = predictor_->predict_from_features(psi_scratch_.features,
+                                                       psi_scratch_.scaled);
+  psi_cache_.insert(psi_scratch_.features, psi);
+  return psi;
+}
 
 std::uint32_t Shard::add_host(std::string host_id,
                               mgmt::MonitoredConfig config, double t0,
                               double measured_c) {
   config.server.validate();
-  const double psi = predictor_->predict(config.server, config.vms,
-                                         config.fans, config.env_temp_c);
   std::lock_guard<std::mutex> lock(state_mutex_);
+  // ψ under the state lock: the cache and scratch buffers are shard state.
+  const double psi = psi_stable(config);
   HostState host{std::move(host_id),
                  std::move(config),
                  core::DynamicTemperaturePredictor(options_->dynamic),
@@ -189,9 +208,7 @@ void Shard::apply(const QueuedEvent& event) {
                         "update_config event without a config payload");
         event.config->server.validate();
         host.config = *event.config;
-        const double psi = predictor_->predict(
-            host.config.server, host.config.vms, host.config.fans,
-            host.config.env_temp_c);
+        const double psi = psi_stable(host.config);
         host.tracker.retarget(event.time_s, event.measured_c, psi);
         metrics_.config_applied->add(1);
         break;

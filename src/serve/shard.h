@@ -28,6 +28,7 @@
 #include "core/stable_predictor.h"
 #include "serve/event.h"
 #include "serve/metrics.h"
+#include "serve/psi_cache.h"
 #include "util/thread_pool.h"
 
 namespace vmtherm::serve {
@@ -42,6 +43,10 @@ struct ShardMetrics {
   Counter* apply_errors = nullptr;   ///< unknown host / bad event payload
   Counter* drift_signals = nullptr;  ///< hosts whose CUSUM newly latched
   Gauge* queue_high_water = nullptr; ///< max queue depth seen (timing)
+  /// ψ_stable memoization traffic. Timing-class: the hit/miss split
+  /// depends on how hosts land on shards, not on what the engine computes.
+  Counter* psi_cache_hits = nullptr;
+  Counter* psi_cache_misses = nullptr;
   Histogram* calibration_abs_error_c = nullptr;
   Histogram* drain_batch_us = nullptr;  ///< per-chunk apply latency (timing)
 };
@@ -141,15 +146,23 @@ class Shard {
   /// Applies one event under state_mutex_.
   void apply(const QueuedEvent& event);
 
+  /// ψ_stable for a running condition, memoized in psi_cache_ and
+  /// featurized through the shard scratch buffers (no per-event
+  /// allocation). Requires state_mutex_ to be held.
+  double psi_stable(const mgmt::MonitoredConfig& config);
+
   const core::StableTemperaturePredictor* predictor_;
   const FleetEngineOptions* options_;
   ShardMetrics metrics_;
 
-  /// guards: hosts_/live_count_ — held per drain chunk by the drainer,
-  /// briefly by synchronous readers (forecast, snapshot).
+  /// guards: hosts_/live_count_/psi_cache_/psi_scratch_ — held per drain
+  /// chunk by the drainer, briefly by synchronous readers (forecast,
+  /// snapshot).
   mutable std::mutex state_mutex_;
   std::vector<HostState> hosts_;  ///< indexed by slot; tombstoned when !live
   std::size_t live_count_ = 0;
+  PsiStableCache psi_cache_;            ///< running condition -> ψ_stable
+  core::StablePredictScratch psi_scratch_;  ///< reused featurization buffers
 
   /// guards: queue_/queued_events_/drain_active_ (producer/drainer handoff).
   std::mutex queue_mutex_;

@@ -141,6 +141,9 @@ TEST(LintCatalogTest, ScopesMatchTheDocumentedLayout) {
   EXPECT_TRUE(is_hot_path_file("src/serve/engine.cpp"));
   EXPECT_TRUE(is_hot_path_file("src/serve/shard.cpp"));
   EXPECT_TRUE(is_hot_path_file("src/serve/event.h"));
+  EXPECT_TRUE(is_hot_path_file("src/serve/psi_cache.h"));
+  EXPECT_TRUE(is_hot_path_file("src/ml/svr_inference.cpp"));
+  EXPECT_TRUE(is_hot_path_file("src/ml/svr_inference.h"));
   EXPECT_FALSE(is_hot_path_file("src/serve/snapshot.cpp"));
 
   EXPECT_TRUE(in_header_scope("src/mgmt/monitor.h"));

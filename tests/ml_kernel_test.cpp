@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.h"
@@ -18,6 +19,56 @@ TEST(KernelHelpersTest, DotAndDistance) {
   EXPECT_DOUBLE_EQ(dot(x, z), 4.0 - 10.0 + 18.0);
   EXPECT_DOUBLE_EQ(squared_distance(x, z), 9.0 + 49.0 + 9.0);
   EXPECT_DOUBLE_EQ(squared_distance(x, x), 0.0);
+}
+
+TEST(PowIntegerTest, ExactlyMatchesStdPowOnDyadicBases) {
+  // Exponentiation-by-squaring multiplies exact powers of two, so every
+  // intermediate is representable and the result must equal std::pow bit
+  // for bit — not merely to tolerance.
+  for (const double base : {2.0, 0.5, -2.0, 4.0, 1.0, -1.0}) {
+    for (int e = 0; e <= 30; ++e) {
+      EXPECT_EQ(pow_integer(base, e), std::pow(base, e))
+          << "base=" << base << " e=" << e;
+    }
+  }
+}
+
+TEST(PowIntegerTest, NegativeExponentsAreReciprocals) {
+  for (const double base : {2.0, 0.5, 4.0}) {
+    for (int e = 1; e <= 20; ++e) {
+      EXPECT_EQ(pow_integer(base, -e), 1.0 / pow_integer(base, e))
+          << "base=" << base << " e=" << e;
+    }
+  }
+  EXPECT_EQ(pow_integer(2.0, -1), 0.5);
+  EXPECT_EQ(pow_integer(2.0, -3), 0.125);
+}
+
+TEST(PowIntegerTest, DegreeZeroIsOneForAnyBase) {
+  for (const double base : {0.0, -0.0, 3.7, -12.0, 1e300}) {
+    EXPECT_EQ(pow_integer(base, 0), 1.0) << "base=" << base;
+  }
+}
+
+TEST(PowIntegerTest, CloseToStdPowOnArbitraryBases) {
+  // Non-dyadic bases round differently between repeated squaring and
+  // libm's pow, but stay within a few ulps at SVR-relevant degrees.
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double base = rng.uniform(0.1, 4.0);
+    const int e = 1 + i % 9;
+    const double expected = std::pow(base, e);
+    EXPECT_NEAR(pow_integer(base, e), expected, 1e-13 * std::abs(expected))
+        << "base=" << base << " e=" << e;
+  }
+}
+
+TEST(PowIntegerTest, IntMinExponentDoesNotOverflow) {
+  // -INT_MIN overflows int; the implementation negates in long long.
+  EXPECT_EQ(pow_integer(1.0, std::numeric_limits<int>::min()), 1.0);
+  EXPECT_EQ(pow_integer(2.0, std::numeric_limits<int>::min()), 0.0);
+  EXPECT_TRUE(
+      std::isinf(pow_integer(0.5, std::numeric_limits<int>::min())));
 }
 
 TEST(KernelNamesTest, RoundTrip) {

@@ -278,7 +278,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(KernelKind::kLinear, KernelKind::kPolynomial,
                       KernelKind::kRbf),
     [](const ::testing::TestParamInfo<KernelKind>& param_info) {
-      return kernel_kind_name(param_info.param);
+      return std::string(kernel_kind_name(param_info.param));
     });
 
 TEST_P(SvrKernelSweepTest, BeatsMeanPredictorOnSmoothTarget) {

@@ -447,7 +447,8 @@ bool in_determinism_scope(const std::string& path) {
 
 bool is_hot_path_file(const std::string& path) {
   return path == "src/serve/engine.cpp" || path == "src/serve/shard.cpp" ||
-         path == "src/serve/event.h";
+         path == "src/serve/event.h" || path == "src/serve/psi_cache.h" ||
+         path == "src/ml/svr_inference.cpp" || path == "src/ml/svr_inference.h";
 }
 
 bool in_header_scope(const std::string& path) {
