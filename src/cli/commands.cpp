@@ -7,12 +7,17 @@
 #include <iomanip>
 #include <sstream>
 
+#include <fstream>
+
 #include "cli/args.h"
 #include "core/evaluator.h"
 #include "core/record_store.h"
 #include "core/tbreak.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
 #include "serve/replay.h"
 #include "serve/snapshot.h"
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -103,12 +108,9 @@ CommandSpec dynamic_spec() {
   return spec;
 }
 
-CommandSpec serve_replay_spec() {
-  CommandSpec spec("serve-replay",
-                   "pump a simulated fleet's temperature traces through the "
-                   "sharded serving engine and report forecasts, hotspots "
-                   "and metrics (bitwise-deterministic per seed at any "
-                   "shard/thread count)");
+/// Replay knobs shared by serve-replay, trace and serve-stats: one spec
+/// helper and one parse helper so the three commands can't drift apart.
+void add_replay_options(CommandSpec& spec) {
   spec.add(make_option("model", "trained model path", true));
   spec.add(make_option("hosts", "fleet size", false, false, false, "32"));
   spec.add(make_option("steps", "observe events per host", false, false,
@@ -131,6 +133,32 @@ CommandSpec serve_replay_spec() {
   spec.add(make_option("churn-every",
                        "config-churn period in steps (0 = no churn)", false,
                        false, false, "0"));
+}
+
+serve::ReplayOptions replay_options_from(const ParsedArgs& args) {
+  serve::ReplayOptions options;
+  options.hosts = static_cast<std::size_t>(args.get_long("hosts"));
+  options.steps = static_cast<std::size_t>(args.get_long("steps"));
+  options.sample_interval_s = args.get_double("interval");
+  options.gap_s = args.get_double("gap");
+  options.horizon_s = args.get_double("horizon");
+  options.threshold_c = args.get_double("threshold");
+  options.seed = static_cast<std::uint64_t>(args.get_long("seed"));
+  options.churn_every = static_cast<std::size_t>(args.get_long("churn-every"));
+  options.engine.shards = static_cast<std::size_t>(args.get_long("shards"));
+  options.engine.threads = static_cast<std::size_t>(args.get_long("threads"));
+  options.engine.queue_capacity =
+      static_cast<std::size_t>(args.get_long("queue-capacity"));
+  return options;
+}
+
+CommandSpec serve_replay_spec() {
+  CommandSpec spec("serve-replay",
+                   "pump a simulated fleet's temperature traces through the "
+                   "sharded serving engine and report forecasts, hotspots "
+                   "and metrics (bitwise-deterministic per seed at any "
+                   "shard/thread count)");
+  add_replay_options(spec);
   spec.add(make_option("top", "hotspot rows to print", false, false, false,
                        "5"));
   spec.add(make_option("snapshot", "write a fleet snapshot to this path",
@@ -140,10 +168,40 @@ CommandSpec serve_replay_spec() {
   return spec;
 }
 
+CommandSpec trace_spec() {
+  CommandSpec spec("trace",
+                   "run a serve replay with span tracing enabled and export "
+                   "a Chrome trace-event JSON (load at chrome://tracing or "
+                   "ui.perfetto.dev) plus a per-span latency summary");
+  add_replay_options(spec);
+  spec.add(make_option("out", "Chrome trace-event JSON output path", false,
+                       false, false, "trace.json"));
+  return spec;
+}
+
+CommandSpec serve_stats_spec() {
+  CommandSpec spec("serve-stats",
+                   "run a serve replay and report prediction-quality "
+                   "telemetry: per-host rolling MSE/MAE of dif = phi - psi, "
+                   "calibration gamma and its drift, CUSUM state and cache/"
+                   "queue health");
+  add_replay_options(spec);
+  spec.add(make_option("window",
+                       "per-host rolling accuracy window (observations)",
+                       false, false, false, "128"));
+  spec.add(make_option("top",
+                       "host rows to print (sorted by rolling MSE, worst "
+                       "first); 0 = all",
+                       false, false, false, "10"));
+  spec.add(make_option("json", "print the full report as JSON", false, true));
+  return spec;
+}
+
 const std::vector<CommandSpec>& all_specs() {
   static const std::vector<CommandSpec> specs = {
-      simulate_spec(),  train_spec(),  evaluate_spec(),     predict_spec(),
-      dynamic_spec(),   tbreak_spec(), serve_replay_spec()};
+      simulate_spec(),     train_spec(),  evaluate_spec(), predict_spec(),
+      dynamic_spec(),      tbreak_spec(), serve_replay_spec(),
+      serve_stats_spec(),  trace_spec()};
   return specs;
 }
 
@@ -327,32 +385,18 @@ int cmd_tbreak(const ParsedArgs& args, std::ostream& out) {
   return 0;
 }
 
+std::string hex_digest(std::uint64_t digest);
+
 int cmd_serve_replay(const ParsedArgs& args, std::ostream& out) {
   auto predictor = core::StableTemperaturePredictor::load(args.get("model"));
-
-  serve::ReplayOptions options;
-  options.hosts = static_cast<std::size_t>(args.get_long("hosts"));
-  options.steps = static_cast<std::size_t>(args.get_long("steps"));
-  options.sample_interval_s = args.get_double("interval");
-  options.gap_s = args.get_double("gap");
-  options.horizon_s = args.get_double("horizon");
-  options.threshold_c = args.get_double("threshold");
-  options.seed = static_cast<std::uint64_t>(args.get_long("seed"));
-  options.churn_every = static_cast<std::size_t>(args.get_long("churn-every"));
-  options.engine.shards = static_cast<std::size_t>(args.get_long("shards"));
-  options.engine.threads = static_cast<std::size_t>(args.get_long("threads"));
-  options.engine.queue_capacity =
-      static_cast<std::size_t>(args.get_long("queue-capacity"));
+  const serve::ReplayOptions options = replay_options_from(args);
 
   out << "replaying " << options.hosts << " hosts x " << options.steps
       << " steps across " << options.engine.shards << " shards...\n";
   auto report = serve::run_fleet_replay(std::move(predictor), options);
 
-  std::ostringstream digest;
-  digest << std::hex << std::setw(16) << std::setfill('0')
-         << report.forecast_digest;
   print_kv(out, "events ingested", std::to_string(report.events_ingested));
-  print_kv(out, "forecast digest", digest.str());
+  print_kv(out, "forecast digest", hex_digest(report.forecast_digest));
 
   const auto top = static_cast<std::size_t>(args.get_long("top"));
   Table table({"host", "forecast_C", "at_risk"});
@@ -368,6 +412,158 @@ int cmd_serve_replay(const ParsedArgs& args, std::ostream& out) {
     serve::save_fleet_file(args.get("snapshot"), *report.engine);
     out << "snapshot saved to " << args.get("snapshot") << "\n";
   }
+  return 0;
+}
+
+std::string hex_digest(std::uint64_t digest) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << digest;
+  return os.str();
+}
+
+int cmd_trace(const ParsedArgs& args, std::ostream& out) {
+  auto predictor = core::StableTemperaturePredictor::load(args.get("model"));
+  const serve::ReplayOptions options = replay_options_from(args);
+
+  // One recorder per process: start from a clean slate so back-to-back
+  // invocations (tests drive run_cli repeatedly) don't accumulate spans.
+  obs::TraceRecorder& recorder = obs::global_trace();
+  recorder.clear();
+  recorder.set_enabled(true);
+
+  out << "tracing " << options.hosts << " hosts x " << options.steps
+      << " steps across " << options.engine.shards << " shards...\n";
+  auto report = serve::run_fleet_replay(std::move(predictor), options);
+  recorder.set_enabled(false);
+
+  // Span summaries land in the engine registry as timing-class metrics;
+  // the deterministic subset (report.metrics_json) is untouched.
+  obs::publish_trace_summary(recorder, report.engine->metrics());
+
+  const std::string path = args.get("out");
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  detail::require(file.good(), "cannot open trace output: " + path);
+  obs::write_chrome_trace(recorder, file);
+  file.close();
+  detail::require(file.good(), "failed writing trace output: " + path);
+
+  print_kv(out, "events ingested", std::to_string(report.events_ingested));
+  print_kv(out, "forecast digest", hex_digest(report.forecast_digest));
+  print_kv(out, "trace events", std::to_string(recorder.event_count()));
+  print_kv(out, "trace threads",
+           std::to_string(recorder.thread_buffer_count()));
+  print_kv(out, "trace dropped", std::to_string(recorder.dropped()));
+
+  Table table({"span", "count", "total_us", "mean_us", "max_us"});
+  for (const auto& row : obs::summarize_spans(recorder)) {
+    table.add_row({row.name,
+                   Table::num(static_cast<long long>(row.count)),
+                   Table::num(row.total_us, 1), Table::num(row.mean_us, 2),
+                   Table::num(row.max_us, 1)});
+  }
+  table.print(out);
+  out << "trace written to " << path << "\n";
+  recorder.clear();
+  return 0;
+}
+
+void write_stats_json(std::ostream& os, const obs::FleetAccuracyStats& stats) {
+  const auto num = [&os](double v) {
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << v;
+    os << tmp.str();
+  };
+  os << "{\"fleet\":{\"hosts\":" << stats.hosts.size()
+     << ",\"observations\":" << stats.observations
+     << ",\"samples_in_window\":" << stats.samples_in_window
+     << ",\"rolling_mse\":";
+  num(stats.rolling_mse);
+  os << ",\"rolling_mae\":";
+  num(stats.rolling_mae);
+  os << ",\"rolling_mean_dif\":";
+  num(stats.rolling_mean_dif);
+  os << ",\"hosts_drifted\":" << stats.hosts_drifted
+     << ",\"psi_cache_hits\":" << stats.psi_cache_hits
+     << ",\"psi_cache_misses\":" << stats.psi_cache_misses
+     << ",\"queue_high_water\":" << stats.queue_high_water << "},\"hosts\":[";
+  bool first = true;
+  for (const auto& host : stats.hosts) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"host_id\":\"" << util::json_escape(host.host_id)
+       << "\",\"observations\":" << host.observations
+       << ",\"window\":" << host.window << ",\"in_window\":" << host.in_window
+       << ",\"rolling_mse\":";
+    num(host.rolling_mse);
+    os << ",\"rolling_mae\":";
+    num(host.rolling_mae);
+    os << ",\"rolling_mean_dif\":";
+    num(host.rolling_mean_dif);
+    os << ",\"gamma\":";
+    num(host.gamma);
+    os << ",\"gamma_drift\":";
+    num(host.gamma_drift);
+    os << ",\"drift_positive\":";
+    num(host.drift_positive);
+    os << ",\"drift_negative\":";
+    num(host.drift_negative);
+    os << ",\"drifted\":" << (host.drifted ? "true" : "false") << "}";
+  }
+  os << "]}\n";
+}
+
+int cmd_serve_stats(const ParsedArgs& args, std::ostream& out) {
+  const long window = args.get_long("window");
+  detail::require(window >= 1, "option --window must be >= 1");
+  auto predictor = core::StableTemperaturePredictor::load(args.get("model"));
+  serve::ReplayOptions options = replay_options_from(args);
+  options.engine.accuracy_window = static_cast<std::size_t>(window);
+
+  auto report = serve::run_fleet_replay(std::move(predictor), options);
+  const obs::FleetAccuracyStats stats = report.engine->accuracy_report();
+
+  if (args.get_flag("json")) {
+    write_stats_json(out, stats);
+    return 0;
+  }
+
+  print_kv(out, "hosts", std::to_string(stats.hosts.size()));
+  print_kv(out, "observations", std::to_string(stats.observations));
+  print_kv(out, "accuracy window",
+           std::to_string(options.engine.accuracy_window) + " obs/host");
+  print_kv(out, "fleet rolling mse", Table::num(stats.rolling_mse, 4));
+  print_kv(out, "fleet rolling mae", Table::num(stats.rolling_mae, 4));
+  print_kv(out, "fleet mean dif", Table::num(stats.rolling_mean_dif, 4));
+  print_kv(out, "hosts drifted", std::to_string(stats.hosts_drifted));
+  print_kv(out, "psi cache hits", std::to_string(stats.psi_cache_hits));
+  print_kv(out, "psi cache misses", std::to_string(stats.psi_cache_misses));
+  print_kv(out, "queue high water", std::to_string(stats.queue_high_water));
+  print_kv(out, "forecast digest", hex_digest(report.forecast_digest));
+
+  // Worst predictions first: rolling MSE descending, host id on ties.
+  std::vector<obs::HostAccuracyStats> rows = stats.hosts;
+  std::sort(rows.begin(), rows.end(),
+            [](const obs::HostAccuracyStats& a,
+               const obs::HostAccuracyStats& b) {
+              if (a.rolling_mse != b.rolling_mse) {
+                return a.rolling_mse > b.rolling_mse;
+              }
+              return a.host_id < b.host_id;
+            });
+  const auto top = static_cast<std::size_t>(args.get_long("top"));
+  Table table({"host", "obs", "mse", "mae", "gamma", "g_drift", "drifted"});
+  for (std::size_t i = 0; i < rows.size() && (top == 0 || i < top); ++i) {
+    const auto& host = rows[i];
+    table.add_row({host.host_id,
+                   Table::num(static_cast<long long>(host.observations)),
+                   Table::num(host.rolling_mse, 4),
+                   Table::num(host.rolling_mae, 4),
+                   Table::num(host.gamma, 3),
+                   Table::num(host.gamma_drift, 3),
+                   host.drifted ? "yes" : "no"});
+  }
+  table.print(out);
   return 0;
 }
 
@@ -433,6 +629,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       if (command == "dynamic") return cmd_dynamic(parsed, out);
       if (command == "tbreak") return cmd_tbreak(parsed, out);
       if (command == "serve-replay") return cmd_serve_replay(parsed, out);
+      if (command == "serve-stats") return cmd_serve_stats(parsed, out);
+      if (command == "trace") return cmd_trace(parsed, out);
     }
     err << "unknown command: " << command << "\n\n";
     print_global_help(err);

@@ -1,5 +1,6 @@
 #include "ml/cv.h"
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace vmtherm::ml {
@@ -48,6 +49,7 @@ double cross_validated_mse(const Dataset& data, std::size_t folds, Rng& rng,
   std::vector<double> fold_squared_error(fold_sets.size(), 0.0);
   std::vector<std::size_t> fold_count(fold_sets.size(), 0);
   const auto evaluate_fold = [&](std::size_t f) {
+    VMTHERM_SPAN("ml.cv_fold", "ml");
     const Dataset train = data.subset(fold_sets[f].train);
     const Dataset validation = data.subset(fold_sets[f].validation);
     const std::vector<double> pred = fit_predict(train, validation);

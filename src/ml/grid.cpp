@@ -4,12 +4,16 @@
 #include <optional>
 
 #include "ml/cv.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace vmtherm::ml {
 
 GridSearchResult grid_search_svr(const Dataset& data, const GridSpec& spec,
                                  util::ThreadPool* pool) {
+  VMTHERM_SPAN_ARG("ml.grid_search", "ml", "points",
+                   spec.c_values.size() * spec.gamma_values.size() *
+                       spec.epsilon_values.size());
   spec.validate();
   detail::require_data(data.size() >= spec.folds,
                        "grid search needs at least `folds` samples");
@@ -56,6 +60,7 @@ GridSearchResult grid_search_svr(const Dataset& data, const GridSpec& spec,
   // serial fold loop, into its own slot — so every cv_mse is bitwise
   // independent of the schedule.
   const auto evaluate_point = [&](std::size_t idx) {
+    VMTHERM_SPAN("ml.grid_point", "ml");
     const SvrParams& params = points[idx];
     double squared_error = 0.0;
     std::size_t count = 0;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace vmtherm::ml {
@@ -173,6 +174,7 @@ void SvrInference::predict_batch(std::span<const double> queries,
                                  std::size_t query_count,
                                  std::span<double> out,
                                  util::ThreadPool* pool) const {
+  VMTHERM_SPAN_ARG("ml.predict_batch", "ml", "queries", query_count);
   detail::require_data(out.size() == query_count,
                        "svr predict_batch output size mismatch");
   if (count_ == 0) {

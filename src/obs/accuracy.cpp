@@ -1,0 +1,80 @@
+#include "obs/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmtherm::obs {
+
+WindowSums HostAccuracy::window_sums() const noexcept {
+  WindowSums sums;
+  const std::size_t n = in_window();
+  std::size_t i = oldest();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double dif = ring_[i].dif;
+    sums.sum_sq_dif += dif * dif;
+    sums.sum_abs_dif += std::abs(dif);
+    sums.sum_dif += dif;
+    i = i + 1 == ring_.size() ? 0 : i + 1;
+  }
+  sums.samples = n;
+  return sums;
+}
+
+double HostAccuracy::rolling_mse() const noexcept {
+  const WindowSums sums = window_sums();
+  return sums.samples == 0 ? 0.0
+                           : sums.sum_sq_dif / static_cast<double>(sums.samples);
+}
+
+double HostAccuracy::rolling_mae() const noexcept {
+  const WindowSums sums = window_sums();
+  return sums.samples == 0
+             ? 0.0
+             : sums.sum_abs_dif / static_cast<double>(sums.samples);
+}
+
+double HostAccuracy::rolling_mean_dif() const noexcept {
+  const WindowSums sums = window_sums();
+  return sums.samples == 0 ? 0.0
+                           : sums.sum_dif / static_cast<double>(sums.samples);
+}
+
+double HostAccuracy::latest_gamma() const noexcept {
+  if (total_ == 0) return 0.0;
+  const std::size_t newest = next_ == 0 ? ring_.size() - 1 : next_ - 1;
+  return ring_[newest].gamma;
+}
+
+double HostAccuracy::gamma_drift() const noexcept {
+  if (in_window() < 2) return 0.0;
+  const std::size_t newest = next_ == 0 ? ring_.size() - 1 : next_ - 1;
+  return ring_[newest].gamma - ring_[oldest()].gamma;
+}
+
+FleetAccuracyStats aggregate_fleet(std::vector<HostAccuracyStats> hosts) {
+  std::sort(hosts.begin(), hosts.end(),
+            [](const HostAccuracyStats& a, const HostAccuracyStats& b) {
+              return a.host_id < b.host_id;
+            });
+  FleetAccuracyStats fleet;
+  WindowSums merged;
+  for (const HostAccuracyStats& host : hosts) {
+    fleet.observations += host.observations;
+    merged.sum_sq_dif += host.sums.sum_sq_dif;
+    merged.sum_abs_dif += host.sums.sum_abs_dif;
+    merged.sum_dif += host.sums.sum_dif;
+    merged.samples += host.sums.samples;
+    if (host.drifted) ++fleet.hosts_drifted;
+  }
+  fleet.samples_in_window = merged.samples;
+  if (merged.samples > 0) {
+    const double n = static_cast<double>(merged.samples);
+    fleet.rolling_mse = merged.sum_sq_dif / n;
+    fleet.rolling_mae = merged.sum_abs_dif / n;
+    fleet.rolling_mean_dif = merged.sum_dif / n;
+  }
+  fleet.hosts = std::move(hosts);
+  return fleet;
+}
+
+}  // namespace vmtherm::obs

@@ -1,0 +1,146 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace vmtherm::obs {
+
+namespace {
+
+struct FlatEvent {
+  std::size_t tid;
+  TraceEvent event;
+};
+
+std::vector<FlatEvent> collect_sorted(const TraceRecorder& recorder) {
+  std::vector<FlatEvent> events;
+  const std::size_t buffers = recorder.thread_buffer_count();
+  for (std::size_t b = 0; b < buffers; ++b) {
+    const ThreadBuffer& buffer = recorder.thread_buffer(b);
+    const std::size_t n = buffer.published();
+    for (std::size_t i = 0; i < n; ++i) {
+      events.push_back({b + 1, buffer.event(i)});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlatEvent& a, const FlatEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.event.start_ns != b.event.start_ns) {
+                return a.event.start_ns < b.event.start_ns;
+              }
+              // Longer spans first so parents precede their children.
+              if (a.event.dur_ns != b.event.dur_ns) {
+                return a.event.dur_ns > b.event.dur_ns;
+              }
+              return std::strcmp(a.event.name, b.event.name) < 0;
+            });
+  return events;
+}
+
+// Microseconds with fixed 3-digit fraction (nanosecond resolution), the
+// unit Chrome's trace viewer expects for ts/dur.
+void append_us(std::ostream& os, std::uint64_t ns) {
+  os << (ns / 1000) << "." << static_cast<char>('0' + ns % 1000 / 100)
+     << static_cast<char>('0' + ns % 100 / 10)
+     << static_cast<char>('0' + ns % 10);
+}
+
+void append_quoted(std::ostream& os, const char* s) {
+  os << "\"";
+  util::write_json_escaped(os, s);
+  os << "\"";
+}
+
+void append_json_double(std::ostream& os, double v) {
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  os << tmp.str();
+}
+
+// Span-duration histogram bounds in microseconds: sub-μs spans (cache
+// hits) up to the latency ceiling used by the serve engine.
+const std::vector<double> kSpanBoundsUs = {1,    4,     16,    64,     256,
+                                           1024, 4096,  16384, 65536,  262144};
+
+}  // namespace
+
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os) {
+  const std::vector<FlatEvent> events = collect_sorted(recorder);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const FlatEvent& fe : events) {
+    if (!first) os << ",\n";
+    first = false;
+    const TraceEvent& e = fe.event;
+    os << "{\"name\":";
+    append_quoted(os, e.name);
+    os << ",\"cat\":";
+    append_quoted(os, e.category);
+    os << ",\"ph\":\"X\",\"ts\":";
+    append_us(os, e.start_ns);
+    os << ",\"dur\":";
+    append_us(os, e.dur_ns);
+    os << ",\"pid\":1,\"tid\":" << fe.tid;
+    if (e.arg_name != nullptr) {
+      os << ",\"args\":{";
+      append_quoted(os, e.arg_name);
+      os << ":";
+      append_json_double(os, e.arg_value);
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::vector<SpanSummaryRow> summarize_spans(const TraceRecorder& recorder) {
+  std::map<std::string, SpanSummaryRow> by_name;
+  const std::size_t buffers = recorder.thread_buffer_count();
+  for (std::size_t b = 0; b < buffers; ++b) {
+    const ThreadBuffer& buffer = recorder.thread_buffer(b);
+    const std::size_t n = buffer.published();
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = buffer.event(i);
+      SpanSummaryRow& row = by_name[e.name];
+      const double us = static_cast<double>(e.dur_ns) / 1000.0;
+      row.count += 1;
+      row.total_us += us;
+      row.max_us = std::max(row.max_us, us);
+    }
+  }
+  std::vector<SpanSummaryRow> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) {
+    row.name = name;
+    row.mean_us = row.total_us / static_cast<double>(row.count);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void publish_trace_summary(const TraceRecorder& recorder,
+                           MetricsRegistry& registry) {
+  const std::size_t buffers = recorder.thread_buffer_count();
+  for (std::size_t b = 0; b < buffers; ++b) {
+    const ThreadBuffer& buffer = recorder.thread_buffer(b);
+    const std::size_t n = buffer.published();
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = buffer.event(i);
+      registry.counter("trace.spans." + std::string(e.name), MetricKind::kTiming)
+          .add(1);
+      registry
+          .histogram("trace.span_us." + std::string(e.name), kSpanBoundsUs,
+                     MetricKind::kTiming)
+          .record(static_cast<double>(e.dur_ns) / 1000.0);
+    }
+  }
+  registry.counter("trace.dropped", MetricKind::kTiming).add(recorder.dropped());
+}
+
+}  // namespace vmtherm::obs

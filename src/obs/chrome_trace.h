@@ -1,0 +1,49 @@
+// vmtherm/obs/chrome_trace.h
+//
+// Cold-path consumers of TraceRecorder data: Chrome trace-event (catapult)
+// JSON export — load the file at chrome://tracing or https://ui.perfetto.dev
+// — plus per-span-name summaries as table rows and as timing-class metrics
+// in a MetricsRegistry. This TU is deliberately outside the lint hot-path
+// scope: it runs once per export, strings and streams are fine here.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vmtherm::obs {
+
+/// Writes the recorder's published events as a Chrome trace-event JSON
+/// document: {"traceEvents":[...]} of "X" (complete) events with ts/dur in
+/// microseconds, pid 1 and tid = the buffer's registration index + 1.
+/// Events are sorted by (tid, start, -dur, name) so the output is a pure
+/// function of the recorded data. Call with recording quiesced (disable
+/// the recorder first).
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os);
+
+/// Per-span-name aggregate over every published event.
+struct SpanSummaryRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Aggregates published events by span name, sorted by name.
+std::vector<SpanSummaryRow> summarize_spans(const TraceRecorder& recorder);
+
+/// Publishes per-name summaries into `registry` as timing-class metrics:
+/// counter `trace.spans.<name>` (adds the current count) and histogram
+/// `trace.span_us.<name>` (one sample per event). Everything is
+/// MetricKind::kTiming, so the deterministic metrics subset — and with it
+/// the replay byte-compare — is untouched by tracing.
+void publish_trace_summary(const TraceRecorder& recorder,
+                           MetricsRegistry& registry);
+
+}  // namespace vmtherm::obs

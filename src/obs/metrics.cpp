@@ -1,10 +1,12 @@
-#include "serve/metrics.h"
+#include "obs/metrics.h"
 
 #include <algorithm>
 #include <cmath>
 #include <sstream>
 
-namespace vmtherm::serve {
+#include "util/json.h"
+
+namespace vmtherm::obs {
 
 namespace {
 
@@ -23,6 +25,14 @@ void append_json_number(std::ostream& os, double v) {
   tmp.precision(17);
   tmp << v;
   os << tmp.str();
+}
+
+// Metric names are caller-chosen strings; quotes and control characters
+// must not corrupt the JSON document.
+void append_json_name(std::ostream& os, const std::string& name) {
+  os << "\"";
+  util::write_json_escaped(os, name);
+  os << "\"";
 }
 
 }  // namespace
@@ -170,7 +180,8 @@ std::string MetricsRegistry::to_json(bool include_timing) const {
     if (!included(entry.kind)) continue;
     if (!first) os << ",";
     first = false;
-    os << "\"" << name << "\":" << entry.counter.value();
+    append_json_name(os, name);
+    os << ":" << entry.counter.value();
   }
   os << "},\"gauges\":{";
   first = true;
@@ -178,7 +189,8 @@ std::string MetricsRegistry::to_json(bool include_timing) const {
     if (!included(entry.kind)) continue;
     if (!first) os << ",";
     first = false;
-    os << "\"" << name << "\":" << entry.gauge.value();
+    append_json_name(os, name);
+    os << ":" << entry.gauge.value();
   }
   os << "},\"histograms\":{";
   first = true;
@@ -187,7 +199,8 @@ std::string MetricsRegistry::to_json(bool include_timing) const {
     if (!first) os << ",";
     first = false;
     const auto& h = entry.histogram;
-    os << "\"" << name << "\":{\"bounds\":[";
+    append_json_name(os, name);
+    os << ":{\"bounds\":[";
     for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
       if (i > 0) os << ",";
       append_json_number(os, h.upper_bounds()[i]);
@@ -225,4 +238,4 @@ void MetricsRegistry::for_each_histogram(
   }
 }
 
-}  // namespace vmtherm::serve
+}  // namespace vmtherm::obs

@@ -1,0 +1,106 @@
+#include "obs/trace.h"
+
+namespace vmtherm::obs {
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  /// sync: relaxed monotonic id source; uniqueness is all that matters.
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread fast path: the (recorder address, recorder id) pair the
+// thread last recorded to, and its buffer there. The id disambiguates a
+// new recorder allocated at a recycled address; a thread alternating
+// between recorders just falls back to the map lookup.
+struct ThreadCache {
+  const TraceRecorder* recorder = nullptr;
+  std::uint64_t recorder_id = 0;
+  ThreadBuffer* buffer = nullptr;
+};
+
+thread_local ThreadCache t_cache;
+
+/// sync: relaxed pointer to the global recorder, set once when
+/// global_trace() first constructs it; set_enabled compares against it to
+/// know when to mirror the fast gate.
+std::atomic<TraceRecorder*> g_global_instance{nullptr};
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_global_trace_enabled{false};
+}  // namespace detail
+
+TraceRecorder::TraceRecorder(std::size_t capacity_per_thread)
+    : id_(next_recorder_id()),
+      capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::set_enabled(bool on) noexcept {
+  enabled_.store(on, std::memory_order_relaxed);
+  if (this == g_global_instance.load(std::memory_order_relaxed)) {
+    detail::g_global_trace_enabled.store(on, std::memory_order_relaxed);
+  }
+}
+
+void TraceRecorder::record(const TraceEvent& event) noexcept {
+  ThreadBuffer* buffer;
+  if (t_cache.recorder == this && t_cache.recorder_id == id_) {
+    buffer = t_cache.buffer;
+  } else {
+    buffer = register_this_thread();
+    t_cache.recorder = this;
+    t_cache.recorder_id = id_;
+    t_cache.buffer = buffer;
+  }
+  if (!buffer->try_record(event)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ThreadBuffer* TraceRecorder::register_this_thread() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = by_thread_.find(self);
+  if (it != by_thread_.end()) return it->second;
+  buffers_.push_back(std::make_unique<ThreadBuffer>(capacity_));
+  ThreadBuffer* buffer = buffers_.back().get();
+  by_thread_.emplace(self, buffer);
+  return buffer;
+}
+
+std::size_t TraceRecorder::thread_buffer_count() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return buffers_.size();
+}
+
+const ThreadBuffer& TraceRecorder::thread_buffer(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return *buffers_[i];
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->published();
+  return total;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto& buffer : buffers_) buffer->reset();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceRecorder& global_trace() {
+  static TraceRecorder* const instance = [] {
+    static TraceRecorder recorder;
+    g_global_instance.store(&recorder, std::memory_order_relaxed);
+    return &recorder;
+  }();
+  return *instance;
+}
+
+}  // namespace vmtherm::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
 #include "util/hash.h"
 
 namespace vmtherm::serve {
@@ -160,6 +161,7 @@ void FleetEngine::ingest(TelemetryEvent event) {
 
 void FleetEngine::ingest_batch(std::vector<TelemetryEvent> events) {
   if (events.empty()) return;
+  VMTHERM_SPAN_ARG("serve.ingest_batch", "serve", "events", events.size());
   batches_->add(1);
   util::ThreadPool* drain_pool =
       options_.drain == DrainMode::kAuto ? &pool_ : nullptr;
@@ -203,6 +205,7 @@ void FleetEngine::ingest_batch(std::vector<TelemetryEvent> events) {
 }
 
 void FleetEngine::flush() {
+  VMTHERM_SPAN("serve.flush", "serve");
   const bool inline_drain = options_.drain == DrainMode::kManual;
   for (const auto& shard : shards_) shard->flush(inline_drain);
 }
@@ -217,6 +220,8 @@ std::vector<double> FleetEngine::forecast_batch(
     const std::vector<ForecastRequest>& requests) const {
   std::vector<double> results(requests.size(), 0.0);
   if (requests.empty()) return results;
+  VMTHERM_SPAN_ARG("serve.forecast_batch", "serve", "requests",
+                   requests.size());
   // Timing-only metric; never observable in forecast output.
   const auto start =
       std::chrono::steady_clock::now();  // vmtherm-lint: allow(det-clock)
@@ -255,6 +260,7 @@ std::vector<double> FleetEngine::forecast_batch(
 
 std::vector<mgmt::HotspotRisk> FleetEngine::hotspot_scan(
     double horizon_s, double threshold_c) const {
+  VMTHERM_SPAN("serve.hotspot_scan", "serve");
   scans_->add(1);
   std::vector<std::vector<mgmt::HotspotRisk>> per_shard(shards_.size());
   pool_.parallel_for(0, shards_.size(), [&](std::size_t s) {
@@ -301,6 +307,18 @@ std::vector<HostSnapshot> FleetEngine::export_hosts() const {
               return a.host_id < b.host_id;
             });
   return hosts;
+}
+
+obs::FleetAccuracyStats FleetEngine::accuracy_report() const {
+  std::vector<obs::HostAccuracyStats> rows;
+  for (const auto& shard : shards_) shard->append_accuracy(rows);
+  obs::FleetAccuracyStats fleet = obs::aggregate_fleet(std::move(rows));
+  // Registry pointers the engine already holds; the const registry has no
+  // name lookup by design.
+  fleet.psi_cache_hits = shard_metrics_.psi_cache_hits->value();
+  fleet.psi_cache_misses = shard_metrics_.psi_cache_misses->value();
+  fleet.queue_high_water = shard_metrics_.queue_high_water->value();
+  return fleet;
 }
 
 }  // namespace vmtherm::serve

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/stable_predictor.h"
+#include "obs/accuracy.h"
 #include "serve/event.h"
 #include "serve/metrics.h"
 #include "serve/shard.h"
@@ -116,6 +117,13 @@ class FleetEngine {
   /// Re-creates a host from a snapshot with its exact tracker/drift state
   /// (no begin()); same id rules as register_host.
   HostHandle import_host(const HostSnapshot& snapshot);
+
+  /// Prediction-quality telemetry: per-host rolling dif = φ − ψ windows
+  /// (MSE/MAE, γ and its in-window drift, CUSUM sums) plus fleet-wide
+  /// aggregates, ψ_stable cache traffic and the queue high-water mark.
+  /// Rows are sorted by host id; aggregates merge in host-id order, so the
+  /// report is deterministic at any shard/thread count once flushed.
+  obs::FleetAccuracyStats accuracy_report() const;
 
   MetricsRegistry& metrics() noexcept { return metrics_; }
   const MetricsRegistry& metrics() const noexcept { return metrics_; }

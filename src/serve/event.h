@@ -118,6 +118,10 @@ struct FleetEngineOptions {
   /// prediction instead of re-evaluating the kernel expansion. 0 disables
   /// memoization (see serve/psi_cache.h for the keying discipline).
   std::size_t psi_cache_capacity = 4096;
+  /// Per-host rolling accuracy window (observations of dif = φ − ψ) kept
+  /// for serve-stats / accuracy_report (see obs/accuracy.h). Runtime-only
+  /// state: not part of snapshots.
+  std::size_t accuracy_window = 128;
 
   void validate() const {
     detail::require(shards >= 1, "fleet engine needs at least one shard");
@@ -130,6 +134,8 @@ struct FleetEngineOptions {
         "deadlock a blocked producer)");
     detail::require(drift_slack_c >= 0.0, "drift slack must be >= 0");
     detail::require(drift_threshold_c > 0.0, "drift threshold must be > 0");
+    detail::require(accuracy_window >= 1,
+                    "accuracy window must hold at least one observation");
     dynamic.validate();
   }
 };

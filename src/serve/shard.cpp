@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace vmtherm::serve {
 
 namespace {
@@ -22,6 +24,7 @@ Shard::Shard(const core::StableTemperaturePredictor* predictor,
       psi_cache_(options->psi_cache_capacity) {}
 
 double Shard::psi_stable(const mgmt::MonitoredConfig& config) {
+  VMTHERM_SPAN("serve.featurize", "serve");
   core::encode_features(core::make_record_inputs(config.server, config.vms,
                                                  config.fans,
                                                  config.env_temp_c),
@@ -31,6 +34,7 @@ double Shard::psi_stable(const mgmt::MonitoredConfig& config) {
     return *hit;
   }
   metrics_.psi_cache_misses->add(1);
+  VMTHERM_SPAN("serve.psi_predict", "serve");
   const double psi = predictor_->predict_from_features(psi_scratch_.features,
                                                        psi_scratch_.scaled);
   psi_cache_.insert(psi_scratch_.features, psi);
@@ -50,6 +54,7 @@ std::uint32_t Shard::add_host(std::string host_id,
                  core::CusumDetector(options_->drift_slack_c,
                                      options_->drift_threshold_c),
                  {},
+                 obs::HostAccuracy(options_->accuracy_window),
                  true};
   host.tracker.begin(t0, measured_c, psi);
   hosts_.push_back(std::move(host));
@@ -66,6 +71,7 @@ std::uint32_t Shard::import_host(const HostSnapshot& snapshot) {
                  core::CusumDetector(options_->drift_slack_c,
                                      options_->drift_threshold_c),
                  snapshot.residuals,
+                 obs::HostAccuracy(options_->accuracy_window),
                  true};
   host.tracker.restore_state(snapshot.tracker);
   host.drift.restore(snapshot.drift_positive, snapshot.drift_negative,
@@ -163,6 +169,7 @@ void Shard::drain_until_empty() {
     const std::size_t count = run.events.size();
     for (std::size_t begin = 0; begin < count; begin += kDrainChunk) {
       const std::size_t end = std::min(count, begin + kDrainChunk);
+      VMTHERM_SPAN_ARG("serve.drain_chunk", "serve", "events", end - begin);
       // Timing-only metric; drain results do not depend on the clock.
       const auto start =
           std::chrono::steady_clock::now();  // vmtherm-lint: allow(det-clock)
@@ -188,6 +195,7 @@ void Shard::apply(const QueuedEvent& event) {
   try {
     switch (event.type) {
       case TelemetryEvent::Type::kObserve: {
+        VMTHERM_SPAN("serve.observe", "serve");
         // Prequential residual: score the current calibrated prediction
         // before the observation updates it.
         const double predicted = host.tracker.predict_at(event.time_s);
@@ -199,11 +207,17 @@ void Shard::apply(const QueuedEvent& event) {
         if (!was_drifted && host.drift.drifted()) {
           metrics_.drift_signals->add(1);
         }
+        // Eq. 6 calibration update (covered by the serve.observe span —
+        // one span per applied event keeps disabled-tracer cost < 1% of
+        // the serving budget; perf_serve enforces this).
         host.tracker.observe(event.time_s, event.measured_c);
+        // The Eq. 5 error and the Eq. 6 γ it produced, for serve-stats.
+        host.accuracy.record(residual, host.tracker.calibration());
         metrics_.observe_applied->add(1);
         break;
       }
       case TelemetryEvent::Type::kUpdateConfig: {
+        VMTHERM_SPAN("serve.update_config", "serve");
         detail::require(event.config != nullptr,
                         "update_config event without a config payload");
         event.config->server.validate();
@@ -276,6 +290,31 @@ void Shard::append_snapshots(std::vector<HostSnapshot>& out) const {
     snapshot.drifted = host.drift.drifted();
     snapshot.drift_observations = host.drift.observation_count();
     out.push_back(std::move(snapshot));
+  }
+}
+
+void Shard::append_accuracy(std::vector<obs::HostAccuracyStats>& out) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  for (const HostState& host : hosts_) {
+    if (!host.live) continue;
+    obs::HostAccuracyStats stats;
+    stats.host_id = host.host_id;
+    stats.observations = host.accuracy.observations();
+    stats.window = host.accuracy.window();
+    stats.in_window = host.accuracy.in_window();
+    stats.sums = host.accuracy.window_sums();
+    if (stats.sums.samples > 0) {
+      const double n = static_cast<double>(stats.sums.samples);
+      stats.rolling_mse = stats.sums.sum_sq_dif / n;
+      stats.rolling_mae = stats.sums.sum_abs_dif / n;
+      stats.rolling_mean_dif = stats.sums.sum_dif / n;
+    }
+    stats.gamma = host.tracker.calibration();
+    stats.gamma_drift = host.accuracy.gamma_drift();
+    stats.drift_positive = host.drift.positive_sum();
+    stats.drift_negative = host.drift.negative_sum();
+    stats.drifted = host.drift.drifted();
+    out.push_back(std::move(stats));
   }
 }
 

@@ -26,6 +26,7 @@
 
 #include "core/drift.h"
 #include "core/stable_predictor.h"
+#include "obs/accuracy.h"
 #include "serve/event.h"
 #include "serve/metrics.h"
 #include "serve/psi_cache.h"
@@ -127,6 +128,10 @@ class Shard {
   /// Appends one HostSnapshot per live host (unsorted).
   void append_snapshots(std::vector<HostSnapshot>& out) const;
 
+  /// Appends one accuracy row per live host (unsorted; the engine
+  /// aggregates via obs::aggregate_fleet).
+  void append_accuracy(std::vector<obs::HostAccuracyStats>& out) const;
+
  private:
   struct HostState {
     std::string host_id;
@@ -134,6 +139,7 @@ class Shard {
     core::DynamicTemperaturePredictor tracker;
     core::CusumDetector drift;
     RunningStats residuals;
+    obs::HostAccuracy accuracy;
     bool live = false;
   };
 

@@ -1,0 +1,51 @@
+#include "util/json.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace vmtherm::util {
+
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  static const char* kHex = "0123456789abcdef";
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      default:
+        if (byte < 0x20) {
+          os << "\\u00" << kHex[byte >> 4] << kHex[byte & 0xF];
+        } else {
+          os << c;
+        }
+        break;
+    }
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::ostringstream os;
+  write_json_escaped(os, s);
+  return os.str();
+}
+
+}  // namespace vmtherm::util

@@ -1,0 +1,27 @@
+// vmtherm/util/json.h
+//
+// Minimal JSON string escaping, shared by every component that emits JSON
+// by hand (metrics registry, trace export, CLI reports). vmtherm writes its
+// JSON with plain streams on purpose — no third-party dependency — which
+// makes correct escaping of names that contain quotes, backslashes or
+// control characters everyone's problem; this is the one implementation.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace vmtherm::util {
+
+/// Writes `s` to `os` JSON-escaped (without surrounding quotes): `"` and
+/// `\` are backslash-escaped, the common control characters use their
+/// two-character forms (\n, \t, \r, \b, \f) and every other byte below
+/// 0x20 becomes \u00XX. Bytes >= 0x80 pass through untouched (UTF-8 is
+/// valid inside JSON strings).
+void write_json_escaped(std::ostream& os, std::string_view s);
+
+/// Convenience: the escaped form as a string (same rules as above).
+std::string json_escape(std::string_view s);
+
+}  // namespace vmtherm::util

@@ -306,5 +306,82 @@ TEST(RunCliTest, DynamicCommandComparesCalibration) {
   std::filesystem::remove(model);
 }
 
+// Pulls the value of one `print_kv` line ("  key:   value") out of a
+// command's stdout.
+std::string kv_value(const std::string& out, const std::string& key) {
+  const auto pos = out.find("  " + key + ":");
+  if (pos == std::string::npos) return {};
+  const auto eol = out.find('\n', pos);
+  std::string line = out.substr(pos, eol - pos);
+  line.erase(0, line.find(':') + 1);
+  line.erase(0, line.find_first_not_of(' '));
+  return line;
+}
+
+TEST(RunCliTest, ServeStatsAndTraceAgreeOnTheReplayDigest) {
+  const std::string records = temp_path("vmtherm_cli_test_records5.csv");
+  const std::string model = temp_path("vmtherm_cli_test_model5.txt");
+  const std::string trace_file = temp_path("vmtherm_cli_test_trace.json");
+  ASSERT_EQ(run({"simulate", "--count", "25", "--seed", "9", "--out", records,
+                 "--duration", "1200"})
+                .code,
+            0);
+  ASSERT_EQ(run({"train", "--data", records, "--model", model, "--fast"}).code,
+            0);
+  const std::vector<std::string> replay = {"--model", model,   "--hosts", "8",
+                                           "--steps", "30",    "--shards", "3",
+                                           "--seed",  "11"};
+  const auto with_command = [&replay](const std::string& command,
+                                      std::vector<std::string> extra) {
+    std::vector<std::string> args{command};
+    args.insert(args.end(), replay.begin(), replay.end());
+    args.insert(args.end(), extra.begin(), extra.end());
+    return run(args);
+  };
+
+  const auto stats = with_command("serve-stats", {"--window", "16"});
+  ASSERT_EQ(stats.code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("fleet rolling mse"), std::string::npos);
+  EXPECT_NE(stats.out.find("g_drift"), std::string::npos);
+  EXPECT_EQ(kv_value(stats.out, "hosts"), "8");
+
+  // Tracing must not perturb the replay: same forecast digest with the
+  // recorder on (trace) and off (serve-stats).
+  const auto traced = with_command("trace", {"--out", trace_file});
+  ASSERT_EQ(traced.code, 0) << traced.err;
+  const std::string digest = kv_value(stats.out, "forecast digest");
+  ASSERT_EQ(digest.size(), 16u);
+  EXPECT_EQ(kv_value(traced.out, "forecast digest"), digest);
+  EXPECT_NE(traced.out.find("serve.observe"), std::string::npos);
+  EXPECT_NE(kv_value(traced.out, "trace events"), "0");
+
+  // The exported file is a Chrome trace-event document.
+  std::ifstream in(trace_file, std::ios::binary);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  const std::string trace_json = oss.str();
+  EXPECT_EQ(trace_json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace_json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace_json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+
+  // JSON mode reports the same fleet in machine-readable form.
+  const auto json = with_command("serve-stats", {"--window", "16", "--json"});
+  ASSERT_EQ(json.code, 0) << json.err;
+  EXPECT_EQ(json.out.rfind("{\"fleet\":{\"hosts\":8,", 0), 0u);
+  EXPECT_NE(json.out.find("\"rolling_mse\":"), std::string::npos);
+  EXPECT_NE(json.out.find("\"host_id\":"), std::string::npos);
+  EXPECT_NE(json.out.find("\"gamma_drift\":"), std::string::npos);
+
+  std::filesystem::remove(records);
+  std::filesystem::remove(model);
+  std::filesystem::remove(trace_file);
+}
+
+TEST(RunCliTest, ServeStatsRejectsBadWindow) {
+  const auto result = run({"serve-stats", "--model", "m.txt", "--window", "0"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--window"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace vmtherm::cli

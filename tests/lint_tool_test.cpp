@@ -134,7 +134,11 @@ TEST(LintCatalogTest, RuleIdsAreUniqueAndKnown) {
 TEST(LintCatalogTest, ScopesMatchTheDocumentedLayout) {
   EXPECT_TRUE(in_determinism_scope("src/core/online.cpp"));
   EXPECT_TRUE(in_determinism_scope("src/serve/engine.cpp"));
-  EXPECT_FALSE(in_determinism_scope("src/serve/metrics.cpp"));  // timing file
+  // The registry moved to src/obs; the serve alias header is back in scope
+  // while the observability subsystem (wall-clock business) stays out.
+  EXPECT_TRUE(in_determinism_scope("src/serve/metrics.h"));
+  EXPECT_FALSE(in_determinism_scope("src/obs/metrics.cpp"));
+  EXPECT_FALSE(in_determinism_scope("src/obs/trace.cpp"));
   EXPECT_FALSE(in_determinism_scope("src/util/rng.cpp"));  // seeded RNG home
   EXPECT_FALSE(in_determinism_scope("tests/foo.cpp"));
 
@@ -144,11 +148,19 @@ TEST(LintCatalogTest, ScopesMatchTheDocumentedLayout) {
   EXPECT_TRUE(is_hot_path_file("src/serve/psi_cache.h"));
   EXPECT_TRUE(is_hot_path_file("src/ml/svr_inference.cpp"));
   EXPECT_TRUE(is_hot_path_file("src/ml/svr_inference.h"));
+  EXPECT_TRUE(is_hot_path_file("src/obs/trace.h"));
+  EXPECT_TRUE(is_hot_path_file("src/obs/trace.cpp"));
+  EXPECT_TRUE(is_hot_path_file("src/obs/accuracy.h"));
+  EXPECT_TRUE(is_hot_path_file("src/obs/accuracy.cpp"));
   EXPECT_FALSE(is_hot_path_file("src/serve/snapshot.cpp"));
+  EXPECT_FALSE(is_hot_path_file("src/obs/chrome_trace.cpp"));  // cold export
 
   EXPECT_TRUE(in_header_scope("src/mgmt/monitor.h"));
   EXPECT_FALSE(in_header_scope("src/mgmt/monitor.cpp"));
   EXPECT_TRUE(in_concurrency_scope("src/serve/shard.h"));
+  EXPECT_TRUE(in_concurrency_scope("src/obs/trace.h"));
+  EXPECT_TRUE(in_concurrency_scope("src/obs/metrics.h"));
+  EXPECT_FALSE(in_concurrency_scope("src/obs/trace.cpp"));
   EXPECT_FALSE(in_concurrency_scope("src/core/online.h"));
 }
 
@@ -316,7 +328,7 @@ TEST(LintReportTest, JsonReportIsWellFormedAndDeterministic) {
   const std::string a = to_json({v}, 3);
   const std::string b = to_json({v}, 3);
   EXPECT_EQ(a, b);
-  EXPECT_NE(a.find("\"catalog_version\": 1"), std::string::npos);
+  EXPECT_NE(a.find("\"catalog_version\": 2"), std::string::npos);
   EXPECT_NE(a.find("\"files_scanned\": 3"), std::string::npos);
   EXPECT_NE(a.find("\"violation_count\": 1"), std::string::npos);
   EXPECT_NE(a.find("\\\" and \\\\ backslash\\nnewline"), std::string::npos);

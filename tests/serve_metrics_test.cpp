@@ -109,6 +109,26 @@ TEST(MetricsTest, JsonFiltersTimingMetrics) {
   EXPECT_NE(deterministic.find("\"hosts\":2"), std::string::npos);
 }
 
+// Regression: metric names used to be emitted raw, so a quote, backslash
+// or control character in a name corrupted the JSON document.
+TEST(MetricsTest, JsonEscapesHostileMetricNames) {
+  MetricsRegistry registry;
+  registry.counter("evil\"name").add(1);
+  registry.gauge("back\\slash").set(2);
+  registry.histogram("tab\there\nnewline", {1.0}).record(0.5);
+  registry.counter(std::string("ctrl\x01" "char")).add(3);
+
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"evil\\\"name\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"back\\\\slash\":2"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there\\nnewline"), std::string::npos);
+  EXPECT_NE(json.find("ctrl\\u0001char"), std::string::npos);
+  // No raw quote survives inside any name: every interior '"' in the
+  // document is structural or escaped.
+  EXPECT_EQ(json.find("evil\"name"), std::string::npos);
+  EXPECT_EQ(json.find("tab\there"), std::string::npos);
+}
+
 TEST(MetricsTest, TableListsEveryMetric) {
   MetricsRegistry registry;
   registry.counter("a").add(1);

@@ -436,19 +436,22 @@ bool is_known_rule(const std::string& id) {
 }
 
 bool in_determinism_scope(const std::string& path) {
-  const bool scoped =
-      starts_with(path, "src/core/") || starts_with(path, "src/ml/") ||
-      starts_with(path, "src/sim/") || starts_with(path, "src/serve/");
-  if (!scoped) return false;
-  // Timing-metric files: the metrics registry legitimately names kTiming
-  // concepts and formats timing output.
-  return path != "src/serve/metrics.h" && path != "src/serve/metrics.cpp";
+  // src/obs is intentionally NOT here: observability is wall-clock business
+  // (span timestamps, latency summaries) and everything it publishes is
+  // timing-class, outside the deterministic metrics subset. The serve
+  // metrics files are back in scope since the registry moved to src/obs
+  // (serve/metrics.h is now a clean alias header).
+  return starts_with(path, "src/core/") || starts_with(path, "src/ml/") ||
+         starts_with(path, "src/sim/") || starts_with(path, "src/serve/");
 }
 
 bool is_hot_path_file(const std::string& path) {
   return path == "src/serve/engine.cpp" || path == "src/serve/shard.cpp" ||
          path == "src/serve/event.h" || path == "src/serve/psi_cache.h" ||
-         path == "src/ml/svr_inference.cpp" || path == "src/ml/svr_inference.h";
+         path == "src/ml/svr_inference.cpp" ||
+         path == "src/ml/svr_inference.h" || path == "src/obs/trace.h" ||
+         path == "src/obs/trace.cpp" || path == "src/obs/accuracy.h" ||
+         path == "src/obs/accuracy.cpp";
 }
 
 bool in_header_scope(const std::string& path) {
@@ -457,7 +460,7 @@ bool in_header_scope(const std::string& path) {
 }
 
 bool in_concurrency_scope(const std::string& path) {
-  return starts_with(path, "src/serve/") &&
+  return (starts_with(path, "src/serve/") || starts_with(path, "src/obs/")) &&
          (ends_with(path, ".h") || ends_with(path, ".hpp"));
 }
 

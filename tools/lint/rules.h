@@ -23,7 +23,10 @@ namespace vmtherm::lint {
 
 /// Catalog version — bump when a rule is added, removed or changes
 /// meaning, so JSON reports from different tool builds are comparable.
-inline constexpr int kCatalogVersion = 1;
+/// v2: hot-path and concurrency scopes grew the src/obs tracer/accuracy
+/// files; the serve metrics files rejoined the determinism scope after
+/// the registry moved to src/obs.
+inline constexpr int kCatalogVersion = 2;
 
 struct Rule {
   const char* id;
